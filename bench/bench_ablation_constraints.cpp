@@ -1,0 +1,52 @@
+// A2 — constraint-encoding ablation: the exact intra-host pairwise factors
+// (our default) vs the paper's §V-A conditional-unary scheme, on the case
+// study with the C2 product constraints.  The unary scheme is exact when
+// the trigger service is pinned; when it is free, it degrades to a soft
+// penalty — this bench quantifies the difference.
+#include <iostream>
+
+#include "casestudy/stuxnet_case.hpp"
+#include "core/optimizer.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace icsdiv;
+  using support::TextTable;
+  support::print_banner(std::cout, "Ablation A2 — constraint encodings (exact vs conditional-unary)");
+
+  const cases::StuxnetCaseStudy study;
+  const core::Optimizer optimizer(study.network());
+
+  TextTable table({"constraints", "encoding", "energy", "satisfied", "intra-host edges",
+                   "ms"});
+  const auto run = [&](const char* label, const core::ConstraintSet& constraints,
+                       core::ConstraintEncoding encoding, const char* encoding_name) {
+    core::OptimizeOptions options;
+    options.problem.encoding = encoding;
+    support::Stopwatch watch;
+    const core::DiversificationProblem problem(study.network(), constraints, options.problem);
+    const auto outcome = optimizer.optimize_problem(problem, options);
+    table.add_row({label, encoding_name, TextTable::num(outcome.solve.energy, 3),
+                   outcome.constraints_satisfied ? "yes" : "NO",
+                   problem.has_intra_host_edges() ? "yes" : "no",
+                   TextTable::num(watch.milliseconds(), 1)});
+  };
+
+  run("C1 (host)", study.host_constraints(), core::ConstraintEncoding::IntraHostPairwise,
+      "pairwise (exact)");
+  run("C1 (host)", study.host_constraints(), core::ConstraintEncoding::ConditionalUnary,
+      "conditional unary");
+  run("C2 (host+product)", study.product_constraints(),
+      core::ConstraintEncoding::IntraHostPairwise, "pairwise (exact)");
+  run("C2 (host+product)", study.product_constraints(),
+      core::ConstraintEncoding::ConditionalUnary, "conditional unary");
+  table.print(std::cout);
+
+  std::cout << "\nReading: both encodings satisfy C1 (all its constraints pin single\n"
+               "products, where the unary scheme is exact).  For C2's global rules the\n"
+               "conditional-unary scheme may return soft-penalty solutions that violate\n"
+               "or over-restrict; the pairwise factors enforce them exactly at the cost\n"
+               "of intra-host edges (which break the per-service decomposition).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// A3 — decomposition/parallelism ablation (the §V-C "multi-level ...
+// parallel computation" claim): one monolithic MRF vs the per-service
+// decomposition, serial vs thread-pool parallel, plus the multilevel
+// coarsening wrapper.  On a single-core host the parallel rows match the
+// serial ones; on multi-core they show the speed-up the paper attributes
+// to its GPU.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/optimizer.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+int main() {
+  using namespace icsdiv;
+  using support::TextTable;
+  support::print_banner(std::cout, "Ablation A3 — decomposition and parallel solving");
+
+  bench::ScalabilityParams params;
+  params.hosts = bench::full_grid_requested() ? 2000 : 600;
+  params.average_degree = 20.0;
+  params.services = 10;
+  const bench::ScalabilityInstance instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  std::cout << "instance: " << params.hosts << " hosts, "
+            << instance.network->topology().edge_count() << " links, " << params.services
+            << " services; thread pool size " << support::global_thread_pool().size()
+            << "\n\n";
+
+  TextTable table({"configuration", "energy", "seconds"});
+  const auto run = [&](const char* name, core::SolverKind kind, bool decompose, bool parallel) {
+    core::OptimizeOptions options;
+    options.solver = kind;
+    options.decompose = decompose;
+    options.parallel = parallel;
+    options.solve.max_iterations = 50;
+    options.solve.tolerance = 1e-6;
+    support::Stopwatch watch;
+    const auto outcome = optimizer.optimize({}, options);
+    table.add_row({name, TextTable::num(outcome.solve.energy, 3),
+                   TextTable::num(watch.seconds(), 3)});
+  };
+
+  run("monolithic TRW-S", core::SolverKind::Trws, /*decompose=*/false, /*parallel=*/false);
+  run("decomposed TRW-S, serial", core::SolverKind::Trws, true, false);
+  run("decomposed TRW-S, parallel", core::SolverKind::Trws, true, true);
+  run("decomposed multilevel TRW-S", core::SolverKind::MultilevelTrws, true, true);
+  table.print(std::cout);
+  std::cout << "\nThe decomposition is exact (identical energies): without intra-host\n"
+               "constraints Eq. 1 splits into one independent MRF per service, so\n"
+               "components can be solved concurrently and message memory stays bounded\n"
+               "by one service's subproblem.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// A1 — solver ablation: TRW-S (the paper's choice) vs loopy BP (the
+// alternative §V-C dismisses as non-convergent) vs ICM vs the greedy
+// colouring baseline [13] vs random/mono assignment, on random networks.
+// Reports final energy, the TRW-S duality gap, and wall-clock.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/baselines.hpp"
+#include "core/optimizer.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace icsdiv;
+  using support::TextTable;
+  support::print_banner(std::cout, "Ablation A1 — solvers on the diversification energy");
+
+  bench::ScalabilityParams params;
+  params.hosts = bench::full_grid_requested() ? 2000 : 400;
+  params.average_degree = 16.0;
+  params.services = 6;
+  params.products_per_service = 4;
+  const bench::ScalabilityInstance instance = bench::make_scalability_instance(params);
+  const core::Network& network = *instance.network;
+  std::cout << "instance: " << network.host_count() << " hosts, "
+            << network.topology().edge_count() << " links, " << params.services
+            << " services, " << params.products_per_service << " products each\n\n";
+
+  const core::DiversificationProblem problem(network);
+  const core::Optimizer optimizer(network);
+
+  TextTable table({"method", "energy (Eq.1)", "lower bound", "gap", "seconds", "converged"});
+
+  double trws_bound = 0.0;
+  for (const auto& [kind, name] :
+       {std::pair{core::SolverKind::Trws, "TRW-S (paper)"},
+        std::pair{core::SolverKind::Bp, "loopy BP (damped)"},
+        std::pair{core::SolverKind::Icm, "ICM"},
+        std::pair{core::SolverKind::MultilevelTrws, "multilevel TRW-S"}}) {
+    core::OptimizeOptions options;
+    options.solver = kind;
+    options.solve.max_iterations = 50;
+    options.solve.tolerance = 1e-6;
+    support::Stopwatch watch;
+    const auto outcome = optimizer.optimize({}, options);
+    const double seconds = watch.seconds();
+    const bool has_bound = outcome.solve.lower_bound > -1e17;
+    if (kind == core::SolverKind::Trws) trws_bound = outcome.solve.lower_bound;
+    table.add_row({name, TextTable::num(outcome.solve.energy, 3),
+                   has_bound ? TextTable::num(outcome.solve.lower_bound, 3) : "-",
+                   has_bound ? TextTable::num(outcome.solve.gap(), 4) : "-",
+                   TextTable::num(seconds, 3), outcome.solve.converged ? "yes" : "no"});
+  }
+
+  // Assignment-level baselines evaluated under the same energy.
+  support::Rng rng(11);
+  for (const auto& [name, assignment] :
+       {std::pair<std::string, core::Assignment>{"greedy colouring [13]",
+                                                 core::greedy_coloring_assignment(network)},
+        {"random", core::random_assignment(network, rng)},
+        {"mono-culture", core::mono_assignment(network)}}) {
+    table.add_row({name, TextTable::num(problem.energy_of(assignment), 3), "-", "-", "-", "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper §V-C): TRW-S reaches the lowest energy; damped BP\n"
+               "oscillates or stalls on these label-symmetric energies (its row carries\n"
+               "tie-breaking noise and still trails); ICM/greedy land close but above;\n"
+               "random and mono are far off.  TRW-S's spanning-forest dual bound ("
+            << TextTable::num(trws_bound, 1)
+            << ")\nis exact on trees but loose on dense loopy graphs — near-optimality on\n"
+               "small instances is established against brute force in the test suite.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// A4 — "how much diversification is required?" (the paper's opening
+// question (i), and its §IX upgrade-advisor use case): starting from the
+// case study's mono-culture, greedily re-image one host per step and track
+// the Eq. 1 energy, the BN diversity metric d_bn and the adversary's least
+// effort as the budget grows — the diminishing-returns curve towards the
+// TRW-S optimum.
+#include <iostream>
+
+#include "bayes/least_effort.hpp"
+#include "bayes/metric.hpp"
+#include "casestudy/stuxnet_case.hpp"
+#include "core/baselines.hpp"
+#include "core/optimizer.hpp"
+#include "core/upgrade.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace icsdiv;
+  using support::TextTable;
+  support::print_banner(std::cout, "Ablation A4 — diversification budget sweep (upgrade advisor)");
+
+  const cases::StuxnetCaseStudy study;
+  const core::Network& network = study.network();
+  const auto entry = study.default_entry();
+  const auto target = study.default_target();
+
+  const core::Assignment mono = core::mono_assignment(network);
+  const core::Optimizer optimizer(network);
+  const auto optimal = optimizer.optimize();
+
+  const auto evaluate = [&](const core::Assignment& assignment) {
+    const auto metric = bayes::bn_diversity_metric(assignment, entry, target);
+    const auto effort = bayes::least_attack_effort(assignment, entry, target);
+    return std::pair{metric.d_bn,
+                     effort.exploit_count ? *effort.exploit_count : std::size_t{0}};
+  };
+
+  TextTable table({"budget (hosts)", "Eq.1 energy", "d_bn", "min distinct exploits"});
+  const core::DiversificationProblem energy_problem(network);
+  for (const std::size_t budget : {0UL, 1UL, 2UL, 4UL, 8UL, 12UL, 16UL, 22UL}) {
+    core::UpgradePlanOptions options;
+    options.budget = budget;
+    core::UpgradePlan plan = budget == 0
+                                 ? core::UpgradePlan{{}, mono, energy_problem.energy_of(mono),
+                                                     energy_problem.energy_of(mono)}
+                                 : core::plan_upgrade(network, mono, {}, options);
+    const auto [d_bn, effort] = evaluate(plan.result);
+    table.add_row({std::to_string(budget), TextTable::num(plan.final_energy, 2),
+                   TextTable::num(d_bn, 4), std::to_string(effort)});
+  }
+  const auto [d_opt, effort_opt] = evaluate(optimal.assignment);
+  table.add_separator();
+  table.add_row({"TRW-S optimum", TextTable::num(optimal.solve.energy, 2),
+                 TextTable::num(d_opt, 4), std::to_string(effort_opt)});
+  table.print(std::cout);
+  std::cout << "\nReading: the first handful of re-imaged hosts buys most of the\n"
+               "resilience (the choke-point hosts around the DMZ); the curve then\n"
+               "flattens towards the jointly-optimised TRW-S solution — a concrete\n"
+               "answer to \"how much diversification is required\".\n";
+  return 0;
+}

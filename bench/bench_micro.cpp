@@ -1,0 +1,131 @@
+// M1 — google-benchmark micro-benchmarks of the library's hot kernels:
+// Jaccard set intersection, TRW-S sweeps, exact/MC reliability, the worm
+// simulator tick loop, and JSON feed parsing.
+#include <benchmark/benchmark.h>
+
+#include "bayes/reliability.hpp"
+#include "bench_util.hpp"
+#include "core/optimizer.hpp"
+#include "mrf/trws.hpp"
+#include "nvd/paper_tables.hpp"
+#include "sim/worm_sim.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace icsdiv;
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (std::size_t i = 0; i < size; ++i) {
+    a.push_back("CVE-2015-" + std::to_string(1000 + i * 2));
+    b.push_back("CVE-2015-" + std::to_string(1000 + i * 3));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nvd::jaccard_similarity(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_JaccardSimilarity)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SimilarityTableFromFeed(benchmark::State& state) {
+  const nvd::OverlapSpec spec = nvd::os_table_spec();
+  const nvd::VulnerabilityDatabase feed = nvd::generate_feed(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nvd::SimilarityTable::from_database(feed, spec.products));
+  }
+}
+BENCHMARK(BM_SimilarityTableFromFeed);
+
+void BM_TrwsIteration(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = static_cast<std::size_t>(state.range(0));
+  params.average_degree = 16.0;
+  params.services = 1;  // one component: measures the raw sweep kernel
+  const auto instance = bench::make_scalability_instance(params);
+  const core::DiversificationProblem problem(*instance.network);
+  const mrf::TrwsSolver solver;
+  mrf::SolveOptions options;
+  options.max_iterations = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem.mrf(), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(problem.mrf().edge_count()));
+}
+BENCHMARK(BM_TrwsIteration)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_ReliabilityExact(benchmark::State& state) {
+  // Ladder graph: series-parallel, the reducer solves it without factoring.
+  const auto rungs = static_cast<std::uint32_t>(state.range(0));
+  bayes::ReliabilityProblem problem;
+  problem.node_count = 2 * rungs;
+  problem.source = 0;
+  problem.target = 2 * rungs - 1;
+  for (std::uint32_t r = 0; r + 1 < rungs; ++r) {
+    problem.edges.push_back({2 * r, 2 * r + 2, 0.3});
+    problem.edges.push_back({2 * r + 1, 2 * r + 3, 0.4});
+    problem.edges.push_back({2 * r, 2 * r + 3, 0.2});
+  }
+  problem.edges.push_back({0, 1, 0.5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bayes::reliability_exact(problem, 64));
+  }
+}
+BENCHMARK(BM_ReliabilityExact)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_ReliabilityMonteCarlo(benchmark::State& state) {
+  bayes::ReliabilityProblem diamond{
+      4, {{0, 1, 0.9}, {1, 3, 0.9}, {0, 2, 0.5}, {2, 3, 0.5}}, 0, 3};
+  support::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bayes::reliability_monte_carlo(diamond, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_ReliabilityMonteCarlo)->Arg(1000)->Arg(10000);
+
+void BM_WormTick(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = 500;
+  params.average_degree = 10.0;
+  params.services = 3;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  const auto assignment = optimizer.optimize().assignment;
+  const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
+  support::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run_once(0, 499, rng));
+  }
+}
+BENCHMARK(BM_WormTick);
+
+void BM_JsonParseFeed(benchmark::State& state) {
+  const nvd::OverlapSpec spec = nvd::browser_table_spec();
+  const std::string text = nvd::generate_feed(spec).to_json().dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::Json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseFeed);
+
+void BM_Rng(benchmark::State& state) {
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Rng);
+
+}  // namespace
+
+BENCHMARK_MAIN();

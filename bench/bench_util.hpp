@@ -1,0 +1,46 @@
+// Shared helpers for the bench harness: the §VIII random-network workload
+// generator and small formatting utilities.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/network.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::bench {
+
+/// Owns the catalog + network of one §VIII scalability instance (the
+/// network keeps a pointer into the catalog, so both live together).
+struct ScalabilityInstance {
+  std::unique_ptr<core::ProductCatalog> catalog;
+  std::unique_ptr<core::Network> network;
+};
+
+struct ScalabilityParams {
+  std::size_t hosts = 1000;
+  double average_degree = 20.0;
+  std::size_t services = 15;
+  std::size_t products_per_service = 5;
+  /// Random Jaccard-style similarities: a fraction of product pairs share
+  /// vulnerabilities, with similarity drawn uniformly below this cap.
+  double similar_pair_fraction = 0.5;
+  double max_similarity = 0.6;
+  std::uint64_t seed = 2020;
+};
+
+/// Builds the paper's scalability workload: a connected random network of
+/// `hosts` nodes at the target average degree where every host runs all
+/// `services`, each with the same `products_per_service` candidates.
+[[nodiscard]] ScalabilityInstance make_scalability_instance(const ScalabilityParams& params);
+
+/// True when the environment requests the paper's full parameter grid
+/// (ICSDIV_BENCH_FULL=1); the default grid is reduced to keep the whole
+/// bench suite tractable.
+[[nodiscard]] inline bool full_grid_requested() {
+  const char* env = std::getenv("ICSDIV_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+}  // namespace icsdiv::bench

@@ -1,0 +1,63 @@
+#include "bayes/attack_bn.hpp"
+
+namespace icsdiv::bayes {
+
+AttackBayesNet::AttackBayesNet(const core::Assignment& assignment, core::HostId entry,
+                               PropagationModel model)
+    : network_(&assignment.network()),
+      entry_(entry),
+      model_(model),
+      dag_(assignment.network().topology(), entry) {
+  rates_.reserve(dag_.edges().size());
+  for (const graph::DagEdge& edge : dag_.edges()) {
+    rates_.push_back(edge_infection_rate(assignment, edge.from, edge.to, model_));
+  }
+}
+
+double AttackBayesNet::edge_rate(std::size_t dag_edge_index) const {
+  require(dag_edge_index < rates_.size(), "AttackBayesNet::edge_rate", "edge index out of range");
+  return rates_[dag_edge_index];
+}
+
+ReliabilityProblem AttackBayesNet::reliability_problem(core::HostId target) const {
+  const core::Network& network = *network_;
+  require(target < network.host_count(), "AttackBayesNet", "unknown target host");
+
+  ReliabilityProblem problem;
+  problem.node_count = network.host_count();
+  problem.source = entry_;
+  problem.target = target;
+  const auto& dag_edges = dag_.edges();
+  problem.edges.reserve(dag_edges.size());
+  for (std::size_t i = 0; i < dag_edges.size(); ++i) {
+    problem.edges.push_back(ReliabilityEdge{dag_edges[i].from, dag_edges[i].to, rates_[i]});
+  }
+  return problem;
+}
+
+double AttackBayesNet::compromise_probability(core::HostId target,
+                                              const InferenceOptions& options) const {
+  if (target == entry_) return 1.0;
+  if (!dag_.reachable(target)) return 0.0;
+  const ReliabilityProblem problem = reliability_problem(target);
+
+  switch (options.engine) {
+    case InferenceEngine::Exact:
+      return reliability_exact(problem, options.exact_max_edges);
+    case InferenceEngine::MonteCarlo: {
+      support::Rng rng(options.seed);
+      return reliability_monte_carlo(problem, options.mc_samples, rng);
+    }
+    case InferenceEngine::Auto: {
+      try {
+        return reliability_exact(problem, options.exact_max_edges);
+      } catch (const Infeasible&) {
+        support::Rng rng(options.seed);
+        return reliability_monte_carlo(problem, options.mc_samples, rng);
+      }
+    }
+  }
+  throw LogicError("AttackBayesNet: unknown inference engine");
+}
+
+}  // namespace icsdiv::bayes

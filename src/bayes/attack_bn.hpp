@@ -1,0 +1,59 @@
+// Attack Bayesian network construction (§VI).
+//
+// Given a diversified network and an entry host, the undirected topology
+// is unrolled into a BFS-layered attack DAG (attack steps move away from
+// the entry; see graph/layered_dag.hpp) whose edges carry the infection
+// rates of the propagation model.  The probability of any host being
+// compromised is then a two-terminal reliability query on that DAG.
+#pragma once
+
+#include "bayes/propagation.hpp"
+#include "bayes/reliability.hpp"
+#include "graph/layered_dag.hpp"
+
+namespace icsdiv::bayes {
+
+enum class InferenceEngine {
+  Auto,        ///< exact when the reduced DAG is small enough, else MC
+  Exact,       ///< factoring; throws Infeasible on oversized problems
+  MonteCarlo,  ///< sampling
+};
+
+struct InferenceOptions {
+  InferenceEngine engine = InferenceEngine::Auto;
+  std::size_t exact_max_edges = 40;
+  std::size_t mc_samples = 400'000;
+  std::uint64_t seed = 99;
+};
+
+class AttackBayesNet {
+ public:
+  /// Builds the layered DAG from `entry` and computes per-edge rates.
+  /// The assignment is only read during construction (a temporary is fine);
+  /// the underlying Network must outlive the BN.
+  AttackBayesNet(const core::Assignment& assignment, core::HostId entry,
+                 PropagationModel model);
+
+  [[nodiscard]] const graph::LayeredDag& dag() const noexcept { return dag_; }
+  [[nodiscard]] const PropagationModel& model() const noexcept { return model_; }
+  [[nodiscard]] core::HostId entry() const noexcept { return entry_; }
+
+  /// Infection rate of the k-th DAG edge.
+  [[nodiscard]] double edge_rate(std::size_t dag_edge_index) const;
+
+  /// P(target compromised | entry compromised with probability 1).
+  [[nodiscard]] double compromise_probability(core::HostId target,
+                                              const InferenceOptions& options = {}) const;
+
+  /// The reliability problem for a target (exposed for tests/benches).
+  [[nodiscard]] ReliabilityProblem reliability_problem(core::HostId target) const;
+
+ private:
+  const core::Network* network_;
+  core::HostId entry_;
+  PropagationModel model_;
+  graph::LayeredDag dag_;
+  std::vector<double> rates_;  ///< aligned with dag_.edges()
+};
+
+}  // namespace icsdiv::bayes

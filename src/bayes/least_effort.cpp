@@ -1,0 +1,129 @@
+#include "bayes/least_effort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace icsdiv::bayes {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct State {
+  std::size_t cost;
+  core::HostId host;
+  Mask mask;
+
+  friend bool operator>(const State& a, const State& b) { return a.cost > b.cost; }
+};
+
+}  // namespace
+
+LeastEffortResult least_attack_effort(const core::Assignment& assignment, core::HostId entry,
+                                      core::HostId target, std::size_t max_distinct_products) {
+  const core::Network& network = assignment.network();
+  require(entry < network.host_count() && target < network.host_count(), "least_attack_effort",
+          "unknown entry/target host");
+  require(max_distinct_products <= 31, "least_attack_effort",
+          "mask width limited to 31 products");
+
+  // Dense re-indexing of the products actually assigned anywhere.
+  std::map<core::ProductId, std::size_t> bit_of;
+  for (core::HostId host = 0; host < network.host_count(); ++host) {
+    for (const core::ServiceInstance& instance : network.services_of(host)) {
+      if (const auto product = assignment.product_of(host, instance.service)) {
+        bit_of.try_emplace(*product, bit_of.size());
+      }
+    }
+  }
+  if (bit_of.size() > max_distinct_products) {
+    throw Infeasible("least_attack_effort: deployment uses " + std::to_string(bit_of.size()) +
+                     " distinct products, above the exact-search limit of " +
+                     std::to_string(max_distinct_products));
+  }
+
+  // Per host: the bitmask options to compromise it (one bit per product
+  // the attacker may choose to exploit).
+  std::vector<std::vector<Mask>> options(network.host_count());
+  for (core::HostId host = 0; host < network.host_count(); ++host) {
+    for (const core::ServiceInstance& instance : network.services_of(host)) {
+      if (const auto product = assignment.product_of(host, instance.service)) {
+        options[host].push_back(Mask{1} << bit_of.at(*product));
+      }
+    }
+  }
+
+  LeastEffortResult result;
+  if (entry == target) {
+    result.exploit_count = 0;
+    result.host_order.push_back(entry);
+    return result;
+  }
+
+  // Dijkstra over (host, mask); cost = popcount(mask).  Parent tracking
+  // reconstructs a witness.
+  struct Parent {
+    core::HostId host;
+    Mask mask;
+  };
+  const auto key = [&](core::HostId host, Mask mask) {
+    return (static_cast<std::uint64_t>(host) << 32) | mask;
+  };
+  std::unordered_map<std::uint64_t, std::size_t> best_cost;
+  std::unordered_map<std::uint64_t, Parent> parent;
+  std::priority_queue<State, std::vector<State>, std::greater<>> queue;
+
+  queue.push(State{0, entry, 0});
+  best_cost[key(entry, 0)] = 0;
+
+  while (!queue.empty()) {
+    const State state = queue.top();
+    queue.pop();
+    const auto state_key = key(state.host, state.mask);
+    if (best_cost.at(state_key) < state.cost) continue;  // stale entry
+
+    if (state.host == target) {
+      result.exploit_count = state.cost;
+      // Reconstruct witness.
+      Mask mask = state.mask;
+      for (std::size_t bit = 0; bit < bit_of.size(); ++bit) {
+        if (mask & (Mask{1} << bit)) {
+          for (const auto& [product, product_bit] : bit_of) {
+            if (product_bit == bit) result.exploited_products.push_back(product);
+          }
+        }
+      }
+      core::HostId host = state.host;
+      Mask current = state.mask;
+      while (!(host == entry && current == 0)) {
+        result.host_order.push_back(host);
+        const Parent p = parent.at(key(host, current));
+        host = p.host;
+        current = p.mask;
+      }
+      result.host_order.push_back(entry);
+      std::reverse(result.host_order.begin(), result.host_order.end());
+      return result;
+    }
+
+    for (const graph::VertexId neighbor : network.topology().neighbors(state.host)) {
+      if (options[neighbor].empty()) continue;  // no exploitable software (PLC)
+      for (const Mask option : options[neighbor]) {
+        const Mask mask = state.mask | option;
+        const auto cost = static_cast<std::size_t>(std::popcount(mask));
+        const auto neighbor_key = key(neighbor, mask);
+        const auto it = best_cost.find(neighbor_key);
+        if (it != best_cost.end() && it->second <= cost) continue;
+        best_cost[neighbor_key] = cost;
+        parent[neighbor_key] = Parent{state.host, state.mask};
+        queue.push(State{cost, neighbor, mask});
+      }
+    }
+  }
+  return result;  // target unreachable: exploit_count stays nullopt
+}
+
+}  // namespace icsdiv::bayes

@@ -1,0 +1,31 @@
+#include "bayes/metric.hpp"
+
+#include <cmath>
+
+namespace icsdiv::bayes {
+
+double DiversityMetricResult::log10_with() const { return std::log10(p_with_similarity); }
+double DiversityMetricResult::log10_without() const { return std::log10(p_without_similarity); }
+
+DiversityMetricResult bn_diversity_metric(const core::Assignment& assignment, core::HostId entry,
+                                          core::HostId target,
+                                          const DiversityMetricOptions& options) {
+  DiversityMetricResult result;
+
+  PropagationModel with = options.model;
+  with.consider_similarity = true;
+  const AttackBayesNet bn_with(assignment, entry, with);
+  result.p_with_similarity = bn_with.compromise_probability(target, options.inference);
+
+  PropagationModel without = options.model;
+  without.consider_similarity = false;
+  const AttackBayesNet bn_without(assignment, entry, without);
+  result.p_without_similarity = bn_without.compromise_probability(target, options.inference);
+
+  require(result.p_with_similarity > 0.0, "bn_diversity_metric",
+          "target is unreachable from the entry (P = 0); d_bn is undefined");
+  result.d_bn = result.p_without_similarity / result.p_with_similarity;
+  return result;
+}
+
+}  // namespace icsdiv::bayes

@@ -1,0 +1,31 @@
+#include "bayes/propagation.hpp"
+
+namespace icsdiv::bayes {
+
+std::vector<Channel> similarity_channels(const core::Assignment& assignment, core::HostId u,
+                                         core::HostId v, const PropagationModel& model) {
+  std::vector<Channel> channels;
+  const core::Network& network = assignment.network();
+  const core::ProductCatalog& catalog = network.catalog();
+  for (const core::ServiceInstance& instance : network.services_of(u)) {
+    if (!network.host_runs(v, instance.service)) continue;
+    const auto product_u = assignment.product_of(u, instance.service);
+    const auto product_v = assignment.product_of(v, instance.service);
+    if (!product_u || !product_v) continue;
+    const double sim = catalog.similarity(*product_u, *product_v);
+    channels.push_back(Channel{instance.service, model.similarity_weight * sim});
+  }
+  return channels;
+}
+
+double edge_infection_rate(const core::Assignment& assignment, core::HostId u, core::HostId v,
+                           const PropagationModel& model) {
+  if (!model.consider_similarity) return model.p_avg;
+  double miss = 1.0 - model.p_avg;
+  for (const Channel& channel : similarity_channels(assignment, u, v, model)) {
+    miss *= 1.0 - channel.success_probability;
+  }
+  return 1.0 - miss;
+}
+
+}  // namespace icsdiv::bayes

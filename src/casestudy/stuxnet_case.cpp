@@ -1,0 +1,286 @@
+#include "casestudy/stuxnet_case.hpp"
+
+#include <memory>
+
+#include "nvd/paper_tables.hpp"
+
+namespace icsdiv::cases {
+
+namespace {
+
+/// Shorthand: product names per service used by Table IV.
+constexpr const char* kWinXp = "WinXP2";
+constexpr const char* kWin7 = "Win7";
+constexpr const char* kUbuntu = "Ubt14.04";
+constexpr const char* kDebian = "Deb8.0";
+constexpr const char* kIe8 = "IE8";
+constexpr const char* kIe10 = "IE10";
+constexpr const char* kChrome = "Chrome";
+constexpr const char* kMssql08 = "MSSQL08";
+constexpr const char* kMssql14 = "MSSQL14";
+constexpr const char* kMysql = "MySQL5.5";
+constexpr const char* kMariaDb = "MariaDB10";
+
+}  // namespace
+
+StuxnetCaseStudy::StuxnetCaseStudy() {
+  build_catalog();
+  network_ = std::make_unique<core::Network>(catalog_);
+  build_hosts();
+  build_links();
+}
+
+void StuxnetCaseStudy::build_catalog() {
+  // The full published similarity tables; the case study restricts each
+  // host to Table IV's candidate subset but similarities come from the
+  // same NVD statistics (Tables II/III + the synthetic DB table).
+  os_ = catalog_.add_service_from_table(nvd::kServiceOs, nvd::paper_os_similarity());
+  wb_ = catalog_.add_service_from_table(nvd::kServiceBrowser, nvd::paper_browser_similarity());
+  db_ = catalog_.add_service_from_table(nvd::kServiceDatabase, nvd::paper_database_similarity());
+}
+
+void StuxnetCaseStudy::build_hosts() {
+  core::Network& net = *network_;
+
+  const auto products = [&](core::ServiceId service,
+                            std::initializer_list<const char*> names) {
+    std::vector<core::ProductId> ids;
+    ids.reserve(names.size());
+    for (const char* name : names) ids.push_back(catalog_.product_id(service, name));
+    return ids;
+  };
+
+  // Adds a host; `legacy` marks hosts whose every service has exactly one
+  // candidate (grey rows of Table IV).
+  struct ServiceSpec {
+    core::ServiceId service;
+    std::vector<core::ProductId> candidates;
+  };
+  const auto add_host = [&](const char* name, std::vector<ServiceSpec> specs,
+                            bool legacy = false) {
+    const core::HostId id = net.add_host(name);
+    for (ServiceSpec& spec : specs) {
+      net.add_service(id, spec.service, std::move(spec.candidates));
+    }
+    if (legacy) legacy_.push_back(id);
+    return id;
+  };
+
+  // --- Corporate (sub)network -------------------------------------------
+  // c1: WinCC Web Client — WinCC V7.x requires a Windows OS and IE [25].
+  const auto c1 = add_host("c1", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})}});
+  // c2: OS (Operator Station) Web Client — platform-flexible thin client.
+  const auto c2 = add_host("c2", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe10, kChrome})}});
+  // c3: Data Monitor Web Client — browser front-end over a local datastore.
+  const auto c3 = add_host("c3", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe10, kChrome})},
+                                  {db_, products(db_, {kMysql, kMariaDb})}});
+  // c4: Historian Web Client — talks to the process historian's database.
+  const auto c4 = add_host("c4", {{os_, products(os_, {kWin7, kUbuntu})},
+                                  {wb_, products(wb_, {kIe10, kChrome})},
+                                  {db_, products(db_, {kMssql08, kMssql14})}});
+
+  // --- DMZ ----------------------------------------------------------------
+  // z1: Virusscan Server — OS only.
+  const auto z1 = add_host("z1", {{os_, products(os_, {kWin7, kUbuntu, kDebian})}});
+  // z2: WSUS Server — Windows Server Update Services: Windows + MSSQL.
+  const auto z2 = add_host("z2", {{os_, products(os_, {kWin7})},
+                                  {db_, products(db_, {kMssql08, kMssql14})}});
+  // z3: Web Navigator Server — WinCC WebNavigator: Windows + IE + MSSQL.
+  const auto z3 = add_host("z3", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})},
+                                  {db_, products(db_, {kMssql08, kMssql14})}});
+  // z4: OS Web Server — publishes operator screens to the IT side.
+  const auto z4 = add_host("z4", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe10, kChrome})},
+                                  {db_, products(db_, {kMssql14, kMysql, kMariaDb})}});
+
+  // --- Operations network (legacy, grey in Table IV) ----------------------
+  // p1: Historian Web Client on the operations side — legacy WinXP + IE8.
+  const auto p1 = add_host("p1", {{os_, products(os_, {kWinXp})},
+                                  {wb_, products(wb_, {kIe8})}},
+                           /*legacy=*/true);
+  // p2: SIMATIC IT Server — legacy WinXP + MSSQL 2008.
+  const auto p2 = add_host("p2", {{os_, products(os_, {kWinXp})},
+                                  {db_, products(db_, {kMssql08})}},
+                           /*legacy=*/true);
+  // p3: SIMATIC SQL Server — legacy WinXP + MSSQL 2008.
+  const auto p3 = add_host("p3", {{os_, products(os_, {kWinXp})},
+                                  {db_, products(db_, {kMssql08})}},
+                           /*legacy=*/true);
+
+  // --- Control network -----------------------------------------------------
+  // t1: Maintenance Server — IT-facing, may be upgraded/diversified.
+  const auto t1 = add_host("t1", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})}});
+  // t2: OS Client — IT-facing operator client, may be diversified.
+  const auto t2 = add_host("t2", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})}});
+  // t3: WinCC Client — legacy.
+  const auto t3 = add_host("t3", {{os_, products(os_, {kWinXp})},
+                                  {wb_, products(wb_, {kIe8})}},
+                           /*legacy=*/true);
+  // t4: OS Server — the one control server already upgraded.
+  const auto t4 = add_host("t4", {{os_, products(os_, {kWin7})},
+                                  {db_, products(db_, {kMssql14})}},
+                           /*legacy=*/true);
+  // t5: WinCC Server (drives the S7 PLCs) — legacy; the attack target.
+  const auto t5 = add_host("t5", {{os_, products(os_, {kWinXp})},
+                                  {db_, products(db_, {kMssql08})}},
+                           /*legacy=*/true);
+  // t6: WinCC Server — legacy.
+  const auto t6 = add_host("t6", {{os_, products(os_, {kWinXp})},
+                                  {db_, products(db_, {kMssql08})}},
+                           /*legacy=*/true);
+
+  // --- Clients network ------------------------------------------------------
+  // e1: WinCC Web Client with local historian cache (Windows + IE + MSSQL).
+  const auto e1 = add_host("e1", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})},
+                                  {db_, products(db_, {kMssql08, kMssql14})}});
+  // e2: OS Web Client.
+  const auto e2 = add_host("e2", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe10, kChrome})}});
+  // e3: Client Workstation — fully flexible office machine.
+  const auto e3 = add_host("e3", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe8, kIe10, kChrome})}});
+  // e4: Client Historian — database-backed archive node.
+  const auto e4 = add_host("e4", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {db_, products(db_, {kMssql14, kMysql, kMariaDb})}});
+
+  // --- Remote clients --------------------------------------------------------
+  // r1: WinCC Web Client (remote twin of e1).
+  const auto r1 = add_host("r1", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})},
+                                  {db_, products(db_, {kMssql08, kMssql14})}});
+  // r2: OS Web Client.
+  const auto r2 = add_host("r2", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe10, kChrome})}});
+  // r3, r4: Client Workstations.
+  const auto r3 = add_host("r3", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe8, kIe10, kChrome})}});
+  const auto r4 = add_host("r4", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe8, kIe10, kChrome})}});
+  // r5: Client Historian.
+  const auto r5 = add_host("r5", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {db_, products(db_, {kMssql14, kMysql, kMariaDb})}});
+
+  // --- Vendors support network ------------------------------------------------
+  // v1: Historian Web Client used by the vendor (Windows + IE).
+  const auto v1 = add_host("v1", {{os_, products(os_, {kWinXp, kWin7})},
+                                  {wb_, products(wb_, {kIe8, kIe10})}});
+  // v2, v3: Vendors Workstations — flexible laptops.
+  const auto v2 = add_host("v2", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe8, kIe10, kChrome})}});
+  const auto v3 = add_host("v3", {{os_, products(os_, {kWin7, kUbuntu, kDebian})},
+                                  {wb_, products(wb_, {kIe8, kIe10, kChrome})}});
+
+  // --- Field devices: S7-300 / S7-400 PLCs (no diversifiable software) ----
+  const auto f1 = add_host("f1", {});
+  const auto f2 = add_host("f2", {});
+  const auto f3 = add_host("f3", {});
+
+  zones_ = {
+      {"Corporate", {c1, c2, c3, c4}},
+      {"DMZ", {z1, z2, z3, z4}},
+      {"Operations", {p1, p2, p3}},
+      {"Control", {t1, t2, t3, t4, t5, t6}},
+      {"Clients", {e1, e2, e3, e4}},
+      {"Remote", {r1, r2, r3, r4, r5}},
+      {"Vendors", {v1, v2, v3}},
+      {"Field", {f1, f2, f3}},
+  };
+}
+
+void StuxnetCaseStudy::build_links() {
+  core::Network& net = *network_;
+  const auto link = [&](const char* a, const char* b) {
+    net.add_link(net.host_id(a), net.host_id(b));
+  };
+
+  // Full mesh inside every zone except Field (PLCs hang off their server).
+  for (const auto& [zone_name, hosts] : zones_) {
+    if (zone_name == "Field") continue;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      for (std::size_t j = i + 1; j < hosts.size(); ++j) {
+        net.add_link(hosts[i], hosts[j]);
+      }
+    }
+  }
+
+  // Firewall white-list links, as annotated in Fig. 3.
+  link("c2", "z4");
+  link("c4", "z4");  // "c2,c4 → z4"
+  link("p2", "z4");
+  link("p3", "z4");  // "p2,p3 → z4"
+  link("z4", "t1");
+  link("z4", "t2");  // "z4 → t1,t2"
+  link("p1", "t1");
+  link("p1", "e1");
+  link("p1", "r1");
+  link("p1", "v1");  // "p1 → t1,e1,r1,v1"
+  link("t1", "e1");
+  link("t1", "r1");
+  link("t1", "v1");
+  link("t2", "e1");
+  link("t2", "r1");
+  link("t2", "v1");  // "t1,t2 → e1,r1,v1"
+
+  // PLCs attach to the control servers that drive them.
+  link("t4", "f1");
+  link("t5", "f2");
+  link("t6", "f3");
+}
+
+core::HostId StuxnetCaseStudy::host(std::string_view name) const {
+  return network_->host_id(name);
+}
+
+core::ConstraintSet StuxnetCaseStudy::host_constraints() const {
+  const core::Network& net = *network_;
+  core::ConstraintSet constraints;
+  const auto fix = [&](const char* host_name, core::ServiceId service, const char* product) {
+    constraints.fix(net.host_id(host_name), service, catalog_.product_id(service, product));
+  };
+  // §VII-B: "the host z4, e1, r1 and v1 are required to run specific
+  // products" (company policy); products as shown in Fig. 4(b).
+  fix("z4", os_, kWin7);
+  fix("z4", wb_, kIe10);
+  fix("z4", db_, kMssql14);
+  fix("e1", os_, kWin7);
+  fix("e1", wb_, kIe8);
+  fix("e1", db_, kMssql14);
+  fix("r1", os_, kWin7);
+  fix("r1", wb_, kIe8);
+  fix("r1", db_, kMssql14);
+  fix("v1", os_, kWin7);
+  fix("v1", wb_, kIe8);
+  return constraints;
+}
+
+core::ConstraintSet StuxnetCaseStudy::product_constraints() const {
+  core::ConstraintSet constraints = host_constraints();
+  // "No Internet Explorer on Linux": global undesirable combinations,
+  // eliminating assignments like IE10-on-Ubuntu at v2 (Fig. 4c).
+  for (const char* linux_os : {kUbuntu, kDebian}) {
+    for (const char* ie : {kIe8, kIe10}) {
+      core::PairConstraint rule;
+      rule.host = core::kAllHosts;
+      rule.trigger_service = os_;
+      rule.trigger_product = catalog_.product_id(os_, linux_os);
+      rule.partner_service = wb_;
+      rule.partner_product = catalog_.product_id(wb_, ie);
+      rule.polarity = core::ConstraintPolarity::Forbid;
+      constraints.add(rule);
+    }
+  }
+  return constraints;
+}
+
+std::vector<core::HostId> StuxnetCaseStudy::mttc_entries() const {
+  return {host("c1"), host("c4"), host("e3"), host("r4"), host("v1")};
+}
+
+}  // namespace icsdiv::cases

@@ -1,0 +1,87 @@
+// The Stuxnet-inspired ICS case study (§VII, Fig. 3, Table IV).
+//
+// A typical IT/OT-converged plant: Corporate, DMZ, Operations, Control,
+// Clients, Remote-Clients and Vendors-Support zones plus field PLCs, wired
+// per Fig. 3's firewall white-list.  Hosts offer up to three services —
+// OS, web browser (WB) and database server (DB) — with candidate products
+// per Table IV; legacy OT hosts are pinned to outdated software.
+//
+// Table IV's per-host check-marks do not survive text extraction, so the
+// availability matrix is reconstructed from each host's stated role (the
+// figure labels), the WinCC platform requirements the paper cites
+// (WinCC/WebNavigator ⇒ Windows + IE + MSSQL; WSUS ⇒ Windows + MSSQL) and
+// the products visible in Fig. 4's solutions; every host below carries a
+// comment naming its role.  See DESIGN.md §3.
+//
+// Constraint sets:
+//  * C1 (host constraints): z4, e1, r1, v1 pinned to company-mandated
+//    products (§VII-B, Fig. 4b).
+//  * C2 = C1 + global product constraints banning Internet Explorer on
+//    Linux hosts — the paper's example of an undesirable combination
+//    ("IE10 on Ubuntu14.04 at host v2", Fig. 4c).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/network.hpp"
+
+namespace icsdiv::cases {
+
+class StuxnetCaseStudy {
+ public:
+  StuxnetCaseStudy();
+
+  // Interior pointers (Network → catalog) forbid copying/moving.
+  StuxnetCaseStudy(const StuxnetCaseStudy&) = delete;
+  StuxnetCaseStudy& operator=(const StuxnetCaseStudy&) = delete;
+
+  [[nodiscard]] const core::ProductCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const core::Network& network() const noexcept { return *network_; }
+
+  [[nodiscard]] core::ServiceId os_service() const noexcept { return os_; }
+  [[nodiscard]] core::ServiceId wb_service() const noexcept { return wb_; }
+  [[nodiscard]] core::ServiceId db_service() const noexcept { return db_; }
+
+  [[nodiscard]] core::HostId host(std::string_view name) const;
+
+  /// Hosts with no diversification flexibility (single-candidate services).
+  [[nodiscard]] const std::vector<core::HostId>& legacy_hosts() const noexcept {
+    return legacy_;
+  }
+
+  /// C1: company-mandated products on z4, e1, r1, v1.
+  [[nodiscard]] core::ConstraintSet host_constraints() const;
+  /// C2: C1 plus the global "no Internet Explorer on Linux" rules.
+  [[nodiscard]] core::ConstraintSet product_constraints() const;
+
+  /// §VII-C roles: the attacker enters at c4 and aims for the WinCC server
+  /// t5 that drives the field PLCs.
+  [[nodiscard]] core::HostId default_entry() const { return host("c4"); }
+  [[nodiscard]] core::HostId default_target() const { return host("t5"); }
+
+  /// Table VI's five entry points: c1, c4, e3, r4, v1.
+  [[nodiscard]] std::vector<core::HostId> mttc_entries() const;
+
+  /// Zone name → member hosts, in Fig. 3 order (PLCs included last).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::vector<core::HostId>>>& zones()
+      const noexcept {
+    return zones_;
+  }
+
+ private:
+  void build_catalog();
+  void build_hosts();
+  void build_links();
+
+  core::ProductCatalog catalog_;
+  std::unique_ptr<core::Network> network_;
+  core::ServiceId os_ = 0;
+  core::ServiceId wb_ = 0;
+  core::ServiceId db_ = 0;
+  std::vector<core::HostId> legacy_;
+  std::vector<std::pair<std::string, std::vector<core::HostId>>> zones_;
+};
+
+}  // namespace icsdiv::cases

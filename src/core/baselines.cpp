@@ -1,0 +1,170 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace icsdiv::core {
+
+namespace {
+
+/// Applies fixed-host constraints onto `assignment`.
+void apply_fixed(Assignment& assignment, const ConstraintSet& constraints) {
+  for (const FixedAssignment& fixed : constraints.fixed()) {
+    assignment.assign(fixed.host, fixed.service, fixed.product);
+  }
+}
+
+[[nodiscard]] bool is_fixed(const ConstraintSet& constraints, HostId host, ServiceId service) {
+  return std::any_of(constraints.fixed().begin(), constraints.fixed().end(),
+                     [&](const FixedAssignment& f) {
+                       return f.host == host && f.service == service;
+                     });
+}
+
+/// Repairs pair-constraint violations by reassigning the partner service
+/// where possible.  One pass suffices because partners changed here are
+/// only ever moved *onto* (Require) or *away from* (Forbid) one specific
+/// product, and trigger slots are never touched.
+void repair_pairs(Assignment& assignment, const Network& network,
+                  const ConstraintSet& constraints) {
+  const auto repair_on_host = [&](const PairConstraint& pair, HostId host) {
+    if (!network.host_runs(host, pair.trigger_service) ||
+        !network.host_runs(host, pair.partner_service)) {
+      return;
+    }
+    const auto trigger = assignment.product_of(host, pair.trigger_service);
+    if (!trigger || *trigger != pair.trigger_product) return;
+    const auto partner = assignment.product_of(host, pair.partner_service);
+    const bool have_partner = partner && *partner == pair.partner_product;
+
+    if (pair.polarity == ConstraintPolarity::Require && !have_partner) {
+      if (is_fixed(constraints, host, pair.partner_service)) {
+        throw Infeasible("baseline repair: host '" + network.host_name(host) +
+                         "' cannot satisfy a Require constraint on a fixed service");
+      }
+      assignment.assign(host, pair.partner_service, pair.partner_product);
+    } else if (pair.polarity == ConstraintPolarity::Forbid && have_partner) {
+      if (is_fixed(constraints, host, pair.partner_service)) {
+        throw Infeasible("baseline repair: host '" + network.host_name(host) +
+                         "' cannot satisfy a Forbid constraint on a fixed service");
+      }
+      const auto slot = network.service_slot(host, pair.partner_service);
+      const auto& candidates = network.services_of(host)[*slot].candidates;
+      const auto replacement =
+          std::find_if(candidates.begin(), candidates.end(),
+                       [&](ProductId p) { return p != pair.partner_product; });
+      if (replacement == candidates.end()) {
+        throw Infeasible("baseline repair: host '" + network.host_name(host) +
+                         "' has no alternative for a forbidden product");
+      }
+      assignment.assign(host, pair.partner_service, *replacement);
+    }
+  };
+
+  for (const PairConstraint& pair : constraints.pairs()) {
+    if (pair.host != kAllHosts) {
+      repair_on_host(pair, pair.host);
+    } else {
+      for (HostId host = 0; host < network.host_count(); ++host) repair_on_host(pair, host);
+    }
+  }
+}
+
+}  // namespace
+
+Assignment mono_assignment(const Network& network, const ConstraintSet& constraints) {
+  constraints.validate(network);
+
+  // Pick the "house product" per service: available on the most hosts.
+  std::map<ServiceId, std::map<ProductId, std::size_t>> availability;
+  for (HostId host = 0; host < network.host_count(); ++host) {
+    for (const ServiceInstance& instance : network.services_of(host)) {
+      for (ProductId candidate : instance.candidates) {
+        availability[instance.service][candidate] += 1;
+      }
+    }
+  }
+  std::map<ServiceId, ProductId> house_product;
+  for (const auto& [service, counts] : availability) {
+    const auto best = std::max_element(
+        counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+          return a.second < b.second || (a.second == b.second && a.first > b.first);
+        });
+    house_product[service] = best->first;
+  }
+
+  Assignment assignment(network);
+  for (HostId host = 0; host < network.host_count(); ++host) {
+    for (const ServiceInstance& instance : network.services_of(host)) {
+      if (is_fixed(constraints, host, instance.service)) continue;
+      const ProductId wanted = house_product.at(instance.service);
+      const bool available =
+          std::find(instance.candidates.begin(), instance.candidates.end(), wanted) !=
+          instance.candidates.end();
+      assignment.assign(host, instance.service, available ? wanted : instance.candidates.front());
+    }
+  }
+  apply_fixed(assignment, constraints);
+  repair_pairs(assignment, network, constraints);
+  return assignment;
+}
+
+Assignment random_assignment(const Network& network, support::Rng& rng,
+                             const ConstraintSet& constraints) {
+  constraints.validate(network);
+  Assignment assignment(network);
+  for (HostId host = 0; host < network.host_count(); ++host) {
+    for (const ServiceInstance& instance : network.services_of(host)) {
+      if (is_fixed(constraints, host, instance.service)) continue;
+      const ProductId choice = instance.candidates[rng.index(instance.candidates.size())];
+      assignment.assign(host, instance.service, choice);
+    }
+  }
+  apply_fixed(assignment, constraints);
+  repair_pairs(assignment, network, constraints);
+  return assignment;
+}
+
+Assignment greedy_coloring_assignment(const Network& network, const ConstraintSet& constraints) {
+  constraints.validate(network);
+  const ProductCatalog& catalog = network.catalog();
+
+  Assignment assignment(network);
+  apply_fixed(assignment, constraints);
+
+  // Largest-degree-first host order, as in greedy graph colouring.
+  std::vector<HostId> order(network.host_count());
+  std::iota(order.begin(), order.end(), HostId{0});
+  std::stable_sort(order.begin(), order.end(), [&](HostId a, HostId b) {
+    return network.topology().degree(a) > network.topology().degree(b);
+  });
+
+  for (HostId host : order) {
+    for (const ServiceInstance& instance : network.services_of(host)) {
+      if (is_fixed(constraints, host, instance.service)) continue;
+      // Choose the candidate minimising summed similarity to neighbours
+      // that already picked a product for this service.
+      ProductId best = instance.candidates.front();
+      double best_score = std::numeric_limits<double>::infinity();
+      for (ProductId candidate : instance.candidates) {
+        double score = 0.0;
+        for (graph::VertexId neighbor : network.topology().neighbors(host)) {
+          if (!network.host_runs(neighbor, instance.service)) continue;
+          if (const auto assigned = assignment.product_of(neighbor, instance.service)) {
+            score += catalog.similarity(candidate, *assigned);
+          }
+        }
+        if (score < best_score) {
+          best_score = score;
+          best = candidate;
+        }
+      }
+      assignment.assign(host, instance.service, best);
+    }
+  }
+  repair_pairs(assignment, network, constraints);
+  return assignment;
+}
+
+}  // namespace icsdiv::core

@@ -1,0 +1,36 @@
+// Baseline assignment strategies used throughout the evaluation:
+//
+//  * mono_assignment  — the paper's α_m: one product per service across all
+//    non-constrained hosts (the software mono-culture worst case).
+//  * random_assignment — the paper's α_r: uniform choice per slot.
+//  * greedy_coloring_assignment — an O'Donnell & Sethu [13]-style local
+//    diversification: hosts pick, in degree order, the candidate with the
+//    least similarity to already-assigned neighbours.  No global view, so
+//    TRW-S should beat it on energy (bench A1).
+//
+// All baselines honour fixed-host constraints; random and greedy run a
+// repair pass for pair constraints and throw Infeasible when a slot cannot
+// be repaired.
+#pragma once
+
+#include "core/assignment.hpp"
+#include "core/constraints.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::core {
+
+/// α_m: for each service, picks the candidate available on the most hosts
+/// (ties by lower product id) and assigns it wherever available; hosts
+/// whose candidate range excludes it fall back to their first candidate.
+[[nodiscard]] Assignment mono_assignment(const Network& network,
+                                         const ConstraintSet& constraints = {});
+
+/// α_r: uniformly random candidate per slot, then constraint repair.
+[[nodiscard]] Assignment random_assignment(const Network& network, support::Rng& rng,
+                                           const ConstraintSet& constraints = {});
+
+/// Greedy sequential diversification (largest-degree hosts first).
+[[nodiscard]] Assignment greedy_coloring_assignment(const Network& network,
+                                                    const ConstraintSet& constraints = {});
+
+}  // namespace icsdiv::core

@@ -1,0 +1,67 @@
+#include "core/optimizer.hpp"
+
+#include "core/metrics.hpp"
+#include "mrf/bp.hpp"
+#include "mrf/decompose.hpp"
+#include "mrf/icm.hpp"
+#include "mrf/multilevel.hpp"
+#include "mrf/trws.hpp"
+
+namespace icsdiv::core {
+
+namespace {
+
+/// Owns a TRW-S instance for the multilevel wrapper's lifetime.
+class MultilevelTrwsSolver final : public mrf::Solver {
+ public:
+  MultilevelTrwsSolver() : multilevel_(base_) {}
+
+  [[nodiscard]] std::string name() const override { return multilevel_.name(); }
+  [[nodiscard]] mrf::SolveResult solve(const mrf::Mrf& mrf,
+                                       const mrf::SolveOptions& options) const override {
+    return multilevel_.solve(mrf, options);
+  }
+
+ private:
+  mrf::TrwsSolver base_;
+  mrf::MultilevelSolver multilevel_;
+};
+
+}  // namespace
+
+std::unique_ptr<mrf::Solver> make_solver(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::Trws: return std::make_unique<mrf::TrwsSolver>();
+    case SolverKind::Bp: return std::make_unique<mrf::BpSolver>();
+    case SolverKind::Icm: return std::make_unique<mrf::IcmSolver>();
+    case SolverKind::MultilevelTrws: return std::make_unique<MultilevelTrwsSolver>();
+  }
+  throw InvalidArgument("make_solver: unknown solver kind");
+}
+
+OptimizeOutcome Optimizer::optimize(const ConstraintSet& constraints,
+                                    const OptimizeOptions& options) const {
+  const DiversificationProblem problem(*network_, constraints, options.problem);
+  return optimize_problem(problem, options);
+}
+
+OptimizeOutcome Optimizer::optimize_problem(const DiversificationProblem& problem,
+                                            const OptimizeOptions& options) const {
+  const std::unique_ptr<mrf::Solver> base = make_solver(options.solver);
+
+  mrf::SolveResult solve_result;
+  if (options.decompose) {
+    const mrf::DecomposedSolver decomposed(*base, options.parallel);
+    solve_result = decomposed.solve(problem.mrf(), options.solve);
+  } else {
+    solve_result = base->solve(problem.mrf(), options.solve);
+  }
+
+  OptimizeOutcome outcome{problem.decode(solve_result.labels), std::move(solve_result), 0.0,
+                          false};
+  outcome.pairwise_similarity = total_edge_similarity(outcome.assignment);
+  outcome.constraints_satisfied = problem.constraints().satisfied_by(outcome.assignment);
+  return outcome;
+}
+
+}  // namespace icsdiv::core

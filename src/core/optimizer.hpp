@@ -1,0 +1,60 @@
+// Optimizer facade (Def. 5): computes α̂ / α̂_C for a network.
+//
+// Wraps problem compilation, solver selection, component decomposition and
+// decoding behind one call.  The default configuration is the paper's:
+// TRW-S over the per-service decomposition, solved in parallel.
+#pragma once
+
+#include <memory>
+
+#include "core/problem.hpp"
+#include "mrf/solver.hpp"
+
+namespace icsdiv::core {
+
+enum class SolverKind {
+  Trws,            ///< sequential tree-reweighted message passing (paper)
+  Bp,              ///< loopy max-product belief propagation (baseline)
+  Icm,             ///< iterated conditional modes (baseline)
+  MultilevelTrws,  ///< coarsen–solve–refine around TRW-S (§V-C extension)
+};
+
+struct OptimizeOptions {
+  SolverKind solver = SolverKind::Trws;
+  mrf::SolveOptions solve;
+  ProblemOptions problem;
+  /// Solve independent MRF components separately (exact; mandatory for the
+  /// paper's parallel scaling) and concurrently when `parallel`.
+  bool decompose = true;
+  bool parallel = true;
+};
+
+struct OptimizeOutcome {
+  Assignment assignment;
+  mrf::SolveResult solve;
+  /// Σ pairwise similarity over links (Eq. 3 component of the energy).
+  double pairwise_similarity = 0.0;
+  /// True when the returned assignment satisfies every constraint.
+  bool constraints_satisfied = false;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Network& network) : network_(&network) {}
+
+  /// Computes the (constrained) optimal assignment α̂ / α̂_C.
+  [[nodiscard]] OptimizeOutcome optimize(const ConstraintSet& constraints = {},
+                                         const OptimizeOptions& options = {}) const;
+
+  /// Optimizes an already-built problem (exposes the MRF for inspection).
+  [[nodiscard]] OptimizeOutcome optimize_problem(const DiversificationProblem& problem,
+                                                 const OptimizeOptions& options = {}) const;
+
+ private:
+  const Network* network_;
+};
+
+/// Builds the solver implementation for a kind (shared with benches).
+[[nodiscard]] std::unique_ptr<mrf::Solver> make_solver(SolverKind kind);
+
+}  // namespace icsdiv::core

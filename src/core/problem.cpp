@@ -1,0 +1,201 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace icsdiv::core {
+
+DiversificationProblem::DiversificationProblem(const Network& network, ConstraintSet constraints,
+                                               ProblemOptions options)
+    : network_(&network), constraints_(std::move(constraints)), options_(std::move(options)) {
+  constraints_.validate(network);
+  require(options_.unary_constant >= 0.0, "DiversificationProblem",
+          "unary constant must be non-negative");
+  require(options_.forbidden_cost > 0.0, "DiversificationProblem",
+          "forbidden cost must be positive");
+  build_variables();
+  build_service_edges();
+  build_constraint_factors();
+}
+
+void DiversificationProblem::build_variables() {
+  const std::size_t host_count = network_->host_count();
+  variable_of_slot_.resize(host_count);
+
+  for (HostId host = 0; host < host_count; ++host) {
+    const auto services = network_->services_of(host);
+    variable_of_slot_[host].resize(services.size());
+    for (std::size_t slot = 0; slot < services.size(); ++slot) {
+      const ServiceInstance& instance = services[slot];
+
+      // Fixed-host constraints restrict the label set to one product.
+      std::vector<ProductId> candidates = instance.candidates;
+      for (const FixedAssignment& fixed : constraints_.fixed()) {
+        if (fixed.host != host || fixed.service != instance.service) continue;
+        if (std::find(candidates.begin(), candidates.end(), fixed.product) ==
+            candidates.end()) {
+          throw Infeasible("DiversificationProblem: fixed product '" +
+                           network_->catalog().product(fixed.product).name +
+                           "' is not a candidate on host '" + network_->host_name(host) + "'");
+        }
+        candidates.assign(1, fixed.product);
+      }
+
+      const mrf::VariableId variable = mrf_.add_variable(candidates.size());
+      // Eq. 2: flat preference cost Pr_const for every choice.
+      for (auto& cost : mrf_.unary(variable)) cost = options_.unary_constant;
+      variable_of_slot_[host][slot] = variable;
+      labels_.push_back(std::move(candidates));
+      slot_of_variable_.emplace_back(host, slot);
+    }
+  }
+}
+
+void DiversificationProblem::build_service_edges() {
+  const ProductCatalog& catalog = network_->catalog();
+
+  // Share one matrix per (ordered) pair of candidate ranges: on the random
+  // networks of §VIII every host has identical ranges, so each service
+  // contributes exactly one matrix regardless of edge count.
+  std::map<std::pair<std::vector<ProductId>, std::vector<ProductId>>, mrf::MatrixId> cache;
+  const auto similarity_matrix = [&](const std::vector<ProductId>& rows,
+                                     const std::vector<ProductId>& cols) {
+    const auto cache_key = std::make_pair(rows, cols);
+    if (const auto it = cache.find(cache_key); it != cache.end()) return it->second;
+    std::vector<mrf::Cost> data;
+    data.reserve(rows.size() * cols.size());
+    for (ProductId a : rows) {
+      for (ProductId b : cols) data.push_back(catalog.similarity(a, b));
+    }
+    const mrf::MatrixId id = mrf_.add_matrix(rows.size(), cols.size(), std::move(data));
+    cache.emplace(cache_key, id);
+    return id;
+  };
+
+  // Eq. 3: one factor per link per service shared by both endpoints.
+  for (const graph::Edge& link : network_->topology().edges()) {
+    const auto services_u = network_->services_of(link.u);
+    for (std::size_t slot_u = 0; slot_u < services_u.size(); ++slot_u) {
+      const auto slot_v = network_->service_slot(link.v, services_u[slot_u].service);
+      if (!slot_v) continue;
+      const mrf::VariableId var_u = variable_of_slot_[link.u][slot_u];
+      const mrf::VariableId var_v = variable_of_slot_[link.v][*slot_v];
+      mrf_.add_edge(var_u, var_v, similarity_matrix(labels_[var_u], labels_[var_v]));
+    }
+  }
+}
+
+void DiversificationProblem::build_constraint_factors() {
+  const auto apply_to_host = [&](const PairConstraint& pair, HostId host) {
+    const auto trigger_slot = network_->service_slot(host, pair.trigger_service);
+    const auto partner_slot = network_->service_slot(host, pair.partner_service);
+    if (!trigger_slot || !partner_slot) return;
+    const mrf::VariableId trigger_var = variable_of_slot_[host][*trigger_slot];
+    const mrf::VariableId partner_var = variable_of_slot_[host][*partner_slot];
+    const auto& trigger_labels = labels_[trigger_var];
+    const auto& partner_labels = labels_[partner_var];
+
+    const auto trigger_index = [&]() -> std::optional<std::size_t> {
+      const auto it =
+          std::find(trigger_labels.begin(), trigger_labels.end(), pair.trigger_product);
+      if (it == trigger_labels.end()) return std::nullopt;
+      return static_cast<std::size_t>(it - trigger_labels.begin());
+    }();
+    if (!trigger_index) return;  // trigger product not available here: vacuous
+
+    const auto forbidden_partner = [&](ProductId partner) {
+      return pair.polarity == ConstraintPolarity::Forbid ? partner == pair.partner_product
+                                                         : partner != pair.partner_product;
+    };
+
+    if (options_.encoding == ConstraintEncoding::IntraHostPairwise) {
+      std::vector<mrf::Cost> data(trigger_labels.size() * partner_labels.size(), 0.0);
+      for (std::size_t b = 0; b < partner_labels.size(); ++b) {
+        if (forbidden_partner(partner_labels[b])) {
+          data[*trigger_index * partner_labels.size() + b] = options_.forbidden_cost;
+        }
+      }
+      const mrf::MatrixId matrix =
+          mrf_.add_matrix(trigger_labels.size(), partner_labels.size(), std::move(data));
+      mrf_.add_edge(trigger_var, partner_var, matrix);
+      ++intra_host_edges_;
+      return;
+    }
+
+    // ConditionalUnary (§V-A): exact only when the trigger is pinned.
+    if (trigger_labels.size() == 1) {
+      for (std::size_t b = 0; b < partner_labels.size(); ++b) {
+        if (forbidden_partner(partner_labels[b])) {
+          mrf_.add_to_unary(partner_var, static_cast<mrf::Label>(b), options_.forbidden_cost);
+        }
+      }
+      return;
+    }
+    // Soft approximation: discourage the trigger label and the banned
+    // partner labels independently.
+    const double half = options_.conditional_unary_penalty / 2.0;
+    mrf_.add_to_unary(trigger_var, static_cast<mrf::Label>(*trigger_index), half);
+    for (std::size_t b = 0; b < partner_labels.size(); ++b) {
+      if (forbidden_partner(partner_labels[b])) {
+        mrf_.add_to_unary(partner_var, static_cast<mrf::Label>(b), half);
+      }
+    }
+  };
+
+  for (const PairConstraint& pair : constraints_.pairs()) {
+    if (pair.host != kAllHosts) {
+      apply_to_host(pair, pair.host);
+    } else {
+      for (HostId host = 0; host < network_->host_count(); ++host) apply_to_host(pair, host);
+    }
+  }
+}
+
+mrf::VariableId DiversificationProblem::variable_of(HostId host, std::size_t slot) const {
+  require(host < variable_of_slot_.size(), "DiversificationProblem::variable_of",
+          "unknown host id");
+  require(slot < variable_of_slot_[host].size(), "DiversificationProblem::variable_of",
+          "slot out of range");
+  return variable_of_slot_[host][slot];
+}
+
+std::span<const ProductId> DiversificationProblem::labels_of(mrf::VariableId variable) const {
+  require(variable < labels_.size(), "DiversificationProblem::labels_of",
+          "unknown variable id");
+  return labels_[variable];
+}
+
+Assignment DiversificationProblem::decode(std::span<const mrf::Label> labels) const {
+  mrf_.check_labeling(labels);
+  Assignment assignment(*network_);
+  for (mrf::VariableId variable = 0; variable < labels_.size(); ++variable) {
+    const auto [host, slot] = slot_of_variable_[variable];
+    const ServiceInstance& instance = network_->services_of(host)[slot];
+    assignment.assign(host, instance.service, labels_[variable][labels[variable]]);
+  }
+  return assignment;
+}
+
+std::vector<mrf::Label> DiversificationProblem::encode(const Assignment& assignment) const {
+  assignment.validate();
+  std::vector<mrf::Label> labels(labels_.size(), 0);
+  for (mrf::VariableId variable = 0; variable < labels_.size(); ++variable) {
+    const auto [host, slot] = slot_of_variable_[variable];
+    const ServiceInstance& instance = network_->services_of(host)[slot];
+    const auto product = assignment.product_of(host, instance.service);
+    ensure(product.has_value(), "DiversificationProblem::encode", "incomplete assignment");
+    const auto& candidates = labels_[variable];
+    const auto it = std::find(candidates.begin(), candidates.end(), *product);
+    require(it != candidates.end(), "DiversificationProblem::encode",
+            "assignment uses a product excluded by the problem's constraints on host '" +
+                network_->host_name(host) + "'");
+    labels[variable] = static_cast<mrf::Label>(it - candidates.begin());
+  }
+  return labels;
+}
+
+mrf::Cost DiversificationProblem::energy_of(const Assignment& assignment) const {
+  return mrf_.energy(encode(assignment));
+}
+
+}  // namespace icsdiv::core

@@ -1,0 +1,87 @@
+// Compilation of the diversification problem into a discrete MRF (§V).
+//
+// One MRF variable per (host, service) slot; its labels are the slot's
+// candidate products after applying fixed-host constraints.  Unary costs
+// realise Eq. 2 (a constant preference Pr_const, refined by constraints);
+// pairwise costs realise Eq. 3 (the similarity of same-service products on
+// linked hosts).  Similarity matrices are shared across edges with equal
+// candidate ranges, so model size is dominated by topology, not |P|².
+//
+// Pair constraints support two encodings, ablated in bench A2:
+//  * IntraHostPairwise (default, exact): an extra pairwise factor between
+//    the two services on each applicable host, kForbidden on the banned
+//    combinations.
+//  * ConditionalUnary (the paper's §V-A scheme): exact when the trigger
+//    service is pinned to the trigger product (the common case in the case
+//    study, where constrained hosts are also fixed); otherwise a soft
+//    penalty on the trigger/partner labels — cheaper but approximate.
+#pragma once
+
+#include <span>
+
+#include "core/constraints.hpp"
+#include "mrf/model.hpp"
+
+namespace icsdiv::core {
+
+enum class ConstraintEncoding { IntraHostPairwise, ConditionalUnary };
+
+struct ProblemOptions {
+  /// Pr_const of Eq. 2: flat preference cost per assigned product.
+  double unary_constant = 0.01;
+  ConstraintEncoding encoding = ConstraintEncoding::IntraHostPairwise;
+  /// Cost for hard-forbidden combinations.
+  double forbidden_cost = mrf::kForbidden;
+  /// Soft co-occurrence penalty used by ConditionalUnary when the trigger
+  /// is not pinned (split across the trigger and partner labels).
+  double conditional_unary_penalty = 2.0;
+};
+
+class DiversificationProblem {
+ public:
+  /// Validates the constraints against the network and builds the MRF.
+  /// Throws Infeasible when a fixed assignment empties a label set.
+  DiversificationProblem(const Network& network, ConstraintSet constraints = {},
+                         ProblemOptions options = {});
+
+  [[nodiscard]] const mrf::Mrf& mrf() const noexcept { return mrf_; }
+  [[nodiscard]] const Network& network() const noexcept { return *network_; }
+  [[nodiscard]] const ConstraintSet& constraints() const noexcept { return constraints_; }
+  [[nodiscard]] const ProblemOptions& options() const noexcept { return options_; }
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return mrf_.variable_count(); }
+
+  /// MRF variable of a (host, slot) pair; slots index Network::services_of.
+  [[nodiscard]] mrf::VariableId variable_of(HostId host, std::size_t slot) const;
+
+  /// Candidate products of a variable (label → product).
+  [[nodiscard]] std::span<const ProductId> labels_of(mrf::VariableId variable) const;
+
+  /// True when pair constraints created intra-host factors, i.e. the MRF
+  /// does NOT decompose exactly into one component per service.
+  [[nodiscard]] bool has_intra_host_edges() const noexcept { return intra_host_edges_ > 0; }
+
+  /// Converts an MRF labeling into an Assignment (and vice versa).
+  [[nodiscard]] Assignment decode(std::span<const mrf::Label> labels) const;
+  [[nodiscard]] std::vector<mrf::Label> encode(const Assignment& assignment) const;
+
+  /// Eq. 1 energy of a complete assignment under this problem's costs.
+  [[nodiscard]] mrf::Cost energy_of(const Assignment& assignment) const;
+
+ private:
+  void build_variables();
+  void build_service_edges();
+  void build_constraint_factors();
+
+  const Network* network_;
+  ConstraintSet constraints_;
+  ProblemOptions options_;
+  mrf::Mrf mrf_;
+
+  std::vector<std::vector<mrf::VariableId>> variable_of_slot_;  ///< [host][slot]
+  std::vector<std::vector<ProductId>> labels_;                  ///< [variable][label]
+  std::vector<std::pair<HostId, std::size_t>> slot_of_variable_;
+  std::size_t intra_host_edges_ = 0;
+};
+
+}  // namespace icsdiv::core

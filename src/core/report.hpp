@@ -1,0 +1,33 @@
+// Human-readable diversification reports.
+//
+// Renders what a system operator reviews before signing off a deployment
+// plan: per-service product distributions, the riskiest links (highest
+// residual similarity), constraint compliance, and — when comparing two
+// assignments — the per-host change list (the migration work order).
+#pragma once
+
+#include <string>
+
+#include "core/assignment.hpp"
+#include "core/constraints.hpp"
+
+namespace icsdiv::core {
+
+struct ReportOptions {
+  /// How many of the most-similar links to list.
+  std::size_t worst_links = 5;
+  /// Include the full per-host assignment listing.
+  bool include_full_listing = false;
+};
+
+/// Renders a report for one assignment (optionally checking `constraints`).
+[[nodiscard]] std::string diversification_report(const Assignment& assignment,
+                                                 const ConstraintSet& constraints = {},
+                                                 const ReportOptions& options = {});
+
+/// Renders the migration work order from `current` to `planned`: one line
+/// per host whose products change, with the per-service before → after.
+[[nodiscard]] std::string migration_report(const Assignment& current,
+                                           const Assignment& planned);
+
+}  // namespace icsdiv::core

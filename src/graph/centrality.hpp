@@ -1,0 +1,34 @@
+// Vertex centrality measures.
+//
+// Used by the upgrade advisor workflow (examples/enterprise_network):
+// betweenness identifies the choke-point hosts malware must traverse, the
+// natural first candidates for re-imaging when the budget is small.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace icsdiv::graph {
+
+/// Exact betweenness centrality (Brandes' algorithm, unweighted), one
+/// value per vertex.  Undirected convention: each shortest path counted
+/// once (values halved).
+[[nodiscard]] std::vector<double> betweenness_centrality(const Graph& graph);
+
+/// Local clustering coefficient per vertex (triangles / possible pairs).
+[[nodiscard]] std::vector<double> clustering_coefficients(const Graph& graph);
+
+/// Degree centrality normalised by (n-1).
+[[nodiscard]] std::vector<double> degree_centrality(const Graph& graph);
+
+/// Articulation vertices (cut vertices): removing one disconnects its
+/// component.  In an ICS topology these are the single points whose
+/// compromise partitions — or whose hardening chokes — worm traffic.
+[[nodiscard]] std::vector<VertexId> articulation_points(const Graph& graph);
+
+/// Bridges: edges whose removal disconnects their component (canonical
+/// u < v order, sorted).
+[[nodiscard]] std::vector<Edge> bridges(const Graph& graph);
+
+}  // namespace icsdiv::graph

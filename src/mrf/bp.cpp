@@ -1,0 +1,160 @@
+#include "mrf/bp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::mrf {
+
+namespace {
+
+struct Incident {
+  std::uint32_t edge;
+  VariableId other;
+  bool i_is_u;
+};
+
+}  // namespace
+
+SolveResult BpSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  BpOptions extended = defaults_;
+  static_cast<SolveOptions&>(extended) = options;
+  return solve_bp(mrf, extended);
+}
+
+SolveResult BpSolver::solve_bp(const Mrf& mrf, const BpOptions& options) const {
+  support::Stopwatch watch;
+  SolveResult result;
+  const std::size_t n = mrf.variable_count();
+  result.labels.assign(n, 0);
+  if (n == 0) {
+    result.energy = 0;
+    result.converged = true;
+    return result;
+  }
+  require(options.damping >= 0.0 && options.damping < 1.0, "BpSolver", "damping must be in [0,1)");
+
+  // Tie-breaking perturbation of the unaries (see BpOptions); messages and
+  // beliefs use the perturbed copy, final energies the true potentials.
+  std::vector<std::vector<Cost>> unaries(n);
+  {
+    support::Rng noise(options.symmetry_breaking_seed);
+    for (VariableId i = 0; i < n; ++i) {
+      const auto original = mrf.unary(i);
+      unaries[i].assign(original.begin(), original.end());
+      if (options.symmetry_breaking > 0.0) {
+        for (Cost& cost : unaries[i]) cost += options.symmetry_breaking * noise.uniform();
+      }
+    }
+  }
+
+  // Incidence and message layout (same scheme as TRW-S: dir0 = u→v over
+  // v's labels, dir1 = v→u over u's labels).
+  std::vector<std::vector<Incident>> incident(n);
+  const auto edges = mrf.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    incident[edges[e].u].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].v, true});
+    incident[edges[e].v].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].u, false});
+  }
+  std::vector<std::size_t> offsets(edges.size() * 2 + 1, 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    offsets[2 * e + 1] = offsets[2 * e] + mrf.label_count(edges[e].v);
+    offsets[2 * e + 2] = offsets[2 * e + 1] + mrf.label_count(edges[e].u);
+  }
+  std::vector<Cost> messages(offsets.back(), 0);
+  std::vector<Cost> next_messages(offsets.back(), 0);
+
+  const auto message_ptr = [&](std::vector<Cost>& store, std::size_t e,
+                               bool dir_u_to_v) -> Cost* {
+    return store.data() + offsets[2 * e + (dir_u_to_v ? 0 : 1)];
+  };
+
+  std::vector<Cost> belief(mrf.max_label_count());
+  std::vector<Cost> t(mrf.max_label_count());
+
+  if (!options.initial_labels.empty()) {
+    mrf.check_labeling(options.initial_labels);
+    result.labels = options.initial_labels;
+  }
+  result.energy = mrf.energy(result.labels);
+
+  for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    // Synchronous (Jacobi) update of every directed message.
+    double max_delta = 0.0;
+    for (VariableId i = 0; i < n; ++i) {
+      const std::size_t count = mrf.label_count(i);
+      const auto& unary = unaries[i];
+      for (const Incident& out_edge : incident[i]) {
+        // Aggregate all incoming messages except the reverse of this one.
+        std::copy(unary.begin(), unary.end(), t.begin());
+        for (const Incident& in_edge : incident[i]) {
+          if (in_edge.edge == out_edge.edge) continue;
+          const Cost* msg = message_ptr(messages, in_edge.edge, !in_edge.i_is_u);
+          for (std::size_t x = 0; x < count; ++x) t[x] += msg[x];
+        }
+        const CostMatrix& m = mrf.matrix(edges[out_edge.edge].matrix);
+        Cost* out = message_ptr(next_messages, out_edge.edge, out_edge.i_is_u);
+        const std::size_t out_count = mrf.label_count(out_edge.other);
+        std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
+        if (out_edge.i_is_u) {
+          for (std::size_t xi = 0; xi < count; ++xi) {
+            const Cost* row = m.data.data() + xi * m.cols;
+            for (std::size_t xj = 0; xj < out_count; ++xj) {
+              out[xj] = std::min(out[xj], t[xi] + row[xj]);
+            }
+          }
+        } else {
+          for (std::size_t xj = 0; xj < out_count; ++xj) {
+            const Cost* row = m.data.data() + xj * m.cols;
+            Cost best = std::numeric_limits<Cost>::infinity();
+            for (std::size_t xi = 0; xi < count; ++xi) best = std::min(best, t[xi] + row[xi]);
+            out[xj] = best;
+          }
+        }
+        const Cost delta =
+            *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
+        const Cost* old = message_ptr(messages, out_edge.edge, out_edge.i_is_u);
+        for (std::size_t xj = 0; xj < out_count; ++xj) {
+          out[xj] -= delta;
+          out[xj] = options.damping * old[xj] + (1.0 - options.damping) * out[xj];
+          max_delta = std::max(max_delta, std::abs(out[xj] - old[xj]));
+        }
+      }
+    }
+    messages.swap(next_messages);
+    result.iterations = iteration;
+
+    // Decode from beliefs and keep the best labeling seen (BP can cycle).
+    std::vector<Label> labels(n, 0);
+    for (VariableId i = 0; i < n; ++i) {
+      const std::size_t count = mrf.label_count(i);
+      const auto& unary = unaries[i];
+      std::copy(unary.begin(), unary.end(), belief.begin());
+      for (const Incident& in_edge : incident[i]) {
+        const Cost* msg = message_ptr(messages, in_edge.edge, !in_edge.i_is_u);
+        for (std::size_t x = 0; x < count; ++x) belief[x] += msg[x];
+      }
+      const auto begin = belief.begin();
+      const auto end = begin + static_cast<std::ptrdiff_t>(count);
+      labels[i] = static_cast<Label>(std::min_element(begin, end) - begin);
+    }
+    const Cost energy = mrf.energy(labels);
+    if (energy < result.energy) {
+      result.energy = energy;
+      result.labels = std::move(labels);
+    }
+
+    if (max_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds) break;
+  }
+
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace icsdiv::mrf

@@ -1,0 +1,41 @@
+// Loopy max-product belief propagation (min-sum), damped.
+//
+// Section V-C discusses BP as the common alternative to graph cuts for
+// energies outside the submodular class, but notes it "might not converge"
+// on many instances — the reason the paper adopts TRW-S.  We implement BP
+// both as the ablation baseline (bench A1 reproduces that observation) and
+// as a second opinion in tests.
+#pragma once
+
+#include "mrf/solver.hpp"
+
+namespace icsdiv::mrf {
+
+struct BpOptions : SolveOptions {
+  /// New message = damping·old + (1−damping)·computed; 0 disables damping.
+  double damping = 0.5;
+  /// Deterministic unary perturbation magnitude.  The diversification
+  /// energy is label-symmetric (flat unaries, symmetric similarities), so
+  /// plain BP sits at the symmetric fixed point and decodes a mono-culture;
+  /// a tiny tie-breaking perturbation — standard practice — avoids that.
+  /// 0 disables.
+  double symmetry_breaking = 1e-4;
+  std::uint64_t symmetry_breaking_seed = 1234;
+};
+
+class BpSolver final : public Solver {
+ public:
+  BpSolver() = default;
+  explicit BpSolver(BpOptions defaults) : defaults_(std::move(defaults)) {}
+
+  using Solver::solve;
+
+  [[nodiscard]] std::string name() const override { return "bp"; }
+  [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+  [[nodiscard]] SolveResult solve_bp(const Mrf& mrf, const BpOptions& options) const;
+
+ private:
+  BpOptions defaults_;
+};
+
+}  // namespace icsdiv::mrf

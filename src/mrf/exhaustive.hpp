@@ -1,0 +1,19 @@
+// Brute-force exact minimisation; the test oracle for small instances.
+#pragma once
+
+#include "mrf/solver.hpp"
+
+namespace icsdiv::mrf {
+
+class ExhaustiveSolver final : public Solver {
+ public:
+  /// Refuses instances whose label-space product exceeds this bound.
+  static constexpr double kMaxCombinations = 16'000'000.0;
+
+  using Solver::solve;
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+};
+
+}  // namespace icsdiv::mrf

@@ -1,0 +1,66 @@
+#include "mrf/icm.hpp"
+
+#include <algorithm>
+
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::mrf {
+
+SolveResult IcmSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  support::Stopwatch watch;
+  SolveResult result;
+  const std::size_t n = mrf.variable_count();
+  result.labels.assign(n, 0);
+  if (!options.initial_labels.empty()) {
+    mrf.check_labeling(options.initial_labels);
+    result.labels = options.initial_labels;
+  }
+  if (n == 0) {
+    result.energy = 0;
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<Cost> score(mrf.max_label_count());
+  const auto edges = mrf.edges();
+
+  bool changed = true;
+  std::size_t iteration = 0;
+  while (changed && iteration < options.max_iterations) {
+    changed = false;
+    ++iteration;
+    for (VariableId i = 0; i < n; ++i) {
+      const std::size_t count = mrf.label_count(i);
+      const auto unary = mrf.unary(i);
+      std::copy(unary.begin(), unary.end(), score.begin());
+      for (std::size_t e : mrf.incident_edges()[i]) {
+        const MrfEdge& edge = edges[e];
+        const CostMatrix& m = mrf.matrix(edge.matrix);
+        if (edge.u == i) {
+          const Label other = result.labels[edge.v];
+          for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, other);
+        } else {
+          const Label other = result.labels[edge.u];
+          const Cost* row = m.data.data() + static_cast<std::size_t>(other) * m.cols;
+          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
+        }
+      }
+      const auto begin = score.begin();
+      const auto end = begin + static_cast<std::ptrdiff_t>(count);
+      const auto best = static_cast<Label>(std::min_element(begin, end) - begin);
+      if (best != result.labels[i] && score[best] < score[result.labels[i]]) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    if (options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds) break;
+  }
+
+  result.energy = mrf.energy(result.labels);
+  result.iterations = iteration;
+  result.converged = !changed;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace icsdiv::mrf

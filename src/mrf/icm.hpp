@@ -1,0 +1,20 @@
+// Iterated Conditional Modes: greedy coordinate descent over labels.
+//
+// A classic baseline for MRF energy minimisation — fast, monotone, but
+// easily stuck in local minima.  Used (a) as an ablation baseline against
+// TRW-S and (b) as the refinement step of the multilevel scheme.
+#pragma once
+
+#include "mrf/solver.hpp"
+
+namespace icsdiv::mrf {
+
+class IcmSolver final : public Solver {
+ public:
+  using Solver::solve;
+
+  [[nodiscard]] std::string name() const override { return "icm"; }
+  [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+};
+
+}  // namespace icsdiv::mrf

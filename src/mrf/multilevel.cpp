@@ -1,0 +1,144 @@
+#include "mrf/multilevel.hpp"
+
+#include <deque>
+#include <numeric>
+
+#include "mrf/icm.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::mrf {
+
+namespace {
+
+/// One coarsening level: the coarse MRF plus the fine→coarse variable map.
+struct Level {
+  Mrf coarse;
+  std::vector<VariableId> fine_to_coarse;
+  bool contracted = false;  ///< false when no pair could be matched
+};
+
+/// Contracts a randomised maximal matching of edges whose endpoints have
+/// identical label counts and a square cost matrix (so "same label" is
+/// meaningful).  Matched pairs share one coarse variable; the intra-pair
+/// pairwise cost collapses onto the coarse unary's diagonal.
+Level coarsen(const Mrf& fine, support::Rng& rng) {
+  Level level;
+  const std::size_t n = fine.variable_count();
+  constexpr VariableId kUnmatched = static_cast<VariableId>(-1);
+  std::vector<VariableId> mate(n, kUnmatched);
+
+  std::vector<std::size_t> edge_order(fine.edge_count());
+  std::iota(edge_order.begin(), edge_order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(edge_order));
+
+  const auto edges = fine.edges();
+  std::size_t matched_pairs = 0;
+  for (std::size_t e : edge_order) {
+    const MrfEdge& edge = edges[e];
+    if (mate[edge.u] != kUnmatched || mate[edge.v] != kUnmatched) continue;
+    if (fine.label_count(edge.u) != fine.label_count(edge.v)) continue;
+    const CostMatrix& m = fine.matrix(edge.matrix);
+    if (m.rows != m.cols) continue;
+    mate[edge.u] = edge.v;
+    mate[edge.v] = edge.u;
+    ++matched_pairs;
+  }
+  level.contracted = matched_pairs > 0;
+  if (!level.contracted) {
+    level.fine_to_coarse.resize(n);
+    std::iota(level.fine_to_coarse.begin(), level.fine_to_coarse.end(), VariableId{0});
+    return level;
+  }
+
+  // Coarse variables: every unmatched fine variable, plus one per pair
+  // (owned by the lower id of the pair).
+  level.fine_to_coarse.assign(n, 0);
+  for (VariableId v = 0; v < n; ++v) {
+    const bool is_pair_follower = mate[v] != kUnmatched && mate[v] < v;
+    if (is_pair_follower) continue;
+    const VariableId coarse = level.coarse.add_variable(fine.label_count(v));
+    level.fine_to_coarse[v] = coarse;
+    // Aggregate unaries (pair follower's unary lands on the same variable).
+    const auto source = fine.unary(v);
+    auto target = level.coarse.unary(coarse);
+    std::copy(source.begin(), source.end(), target.begin());
+    if (mate[v] != kUnmatched) {
+      const auto other = fine.unary(mate[v]);
+      for (std::size_t x = 0; x < other.size(); ++x) target[x] += other[x];
+      level.fine_to_coarse[mate[v]] = coarse;
+    }
+  }
+
+  // Re-emit edges.  Intra-pair edges fold onto the diagonal of the coarse
+  // unary; all other edges map through fine_to_coarse (parallel edges add).
+  std::vector<MatrixId> matrix_map(fine.matrix_count());
+  std::vector<bool> matrix_copied(fine.matrix_count(), false);
+  for (const MrfEdge& edge : edges) {
+    const VariableId cu = level.fine_to_coarse[edge.u];
+    const VariableId cv = level.fine_to_coarse[edge.v];
+    const CostMatrix& m = fine.matrix(edge.matrix);
+    if (cu == cv) {
+      auto target = level.coarse.unary(cu);
+      for (std::size_t x = 0; x < target.size(); ++x) target[x] += m.at(x, x);
+      continue;
+    }
+    if (!matrix_copied[edge.matrix]) {
+      matrix_map[edge.matrix] = level.coarse.add_matrix(m.rows, m.cols, m.data);
+      matrix_copied[edge.matrix] = true;
+    }
+    level.coarse.add_edge(cu, cv, matrix_map[edge.matrix]);
+  }
+  return level;
+}
+
+}  // namespace
+
+SolveResult MultilevelSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  support::Stopwatch watch;
+  support::Rng rng(options_.seed);
+
+  // Build the coarsening hierarchy (the fine MRFs of each level are owned
+  // here; level k+1 is the coarsening of level k).  A deque keeps the
+  // fine_chain pointers stable while levels grow.
+  std::vector<const Mrf*> fine_chain{&mrf};
+  std::deque<Level> levels;
+  while (fine_chain.back()->variable_count() > options_.min_variables &&
+         levels.size() < options_.max_levels) {
+    Level level = coarsen(*fine_chain.back(), rng);
+    if (!level.contracted) break;
+    levels.push_back(std::move(level));
+    fine_chain.push_back(&levels.back().coarse);
+  }
+
+  // Solve the coarsest level with the base solver.
+  SolveResult coarse_result = base_.solve(*fine_chain.back(), options);
+  std::vector<Label> labels = std::move(coarse_result.labels);
+
+  // Project back and refine with ICM sweeps at each finer level.
+  const IcmSolver refiner;
+  for (std::size_t k = levels.size(); k-- > 0;) {
+    const Mrf& fine = *fine_chain[k];
+    std::vector<Label> fine_labels(fine.variable_count());
+    for (VariableId v = 0; v < fine.variable_count(); ++v) {
+      fine_labels[v] = labels[levels[k].fine_to_coarse[v]];
+    }
+    SolveOptions refine_options;
+    refine_options.max_iterations = options_.refine_iterations;
+    refine_options.initial_labels = std::move(fine_labels);
+    SolveResult refined = refiner.solve(fine, refine_options);
+    labels = std::move(refined.labels);
+  }
+
+  SolveResult result;
+  result.labels = std::move(labels);
+  result.energy = mrf.energy(result.labels);
+  result.lower_bound = levels.empty() ? coarse_result.lower_bound
+                                      : -std::numeric_limits<Cost>::infinity();
+  result.iterations = coarse_result.iterations;
+  result.converged = coarse_result.converged;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace icsdiv::mrf

@@ -1,0 +1,43 @@
+// Multilevel (coarsen–solve–refine) energy minimisation.
+//
+// Section V-C notes the optimisation scheme is "extended to a multi-level
+// fashion to better fit our problem", enabling parallel computation.  We
+// realise the classic multilevel scheme on MRFs: contract a maximal
+// matching of compatible variable pairs (identical label spaces, forced to
+// share one label) to build a coarser MRF, recurse, then project labels
+// back and refine with ICM sweeps.  Bench A3 ablates this against flat
+// TRW-S: the coarse solve gives a strong warm start at a fraction of the
+// sweeps on large low-diversity instances.
+#pragma once
+
+#include "mrf/solver.hpp"
+
+namespace icsdiv::mrf {
+
+struct MultilevelOptions {
+  std::size_t min_variables = 64;   ///< stop coarsening below this size
+  std::size_t max_levels = 12;
+  std::size_t refine_iterations = 4;  ///< ICM sweeps per level on the way up
+  std::uint64_t seed = 17;            ///< randomised matching order
+};
+
+class MultilevelSolver final : public Solver {
+ public:
+  /// `base` solves the coarsest level (and is used as the final refiner
+  /// when `refine_with_base`).
+  explicit MultilevelSolver(const Solver& base, MultilevelOptions options = {})
+      : base_(base), options_(options) {}
+
+  using Solver::solve;
+
+  [[nodiscard]] std::string name() const override {
+    return "multilevel(" + base_.name() + ")";
+  }
+  [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+
+ private:
+  const Solver& base_;
+  MultilevelOptions options_;
+};
+
+}  // namespace icsdiv::mrf

@@ -1,0 +1,50 @@
+// Common solver interface for MRF energy minimisation.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrf/model.hpp"
+
+namespace icsdiv::mrf {
+
+struct SolveOptions {
+  std::size_t max_iterations = 100;
+  /// Convergence threshold on the lower-bound / energy improvement per
+  /// iteration (absolute).
+  Cost tolerance = 1e-9;
+  /// Wall-clock budget in seconds; 0 disables the limit.
+  double time_limit_seconds = 0.0;
+  /// Optional warm start; must match variable_count or be empty.
+  std::vector<Label> initial_labels;
+};
+
+struct SolveResult {
+  std::vector<Label> labels;
+  Cost energy = std::numeric_limits<Cost>::infinity();
+  /// Valid dual lower bound when the solver provides one, else -inf.
+  Cost lower_bound = -std::numeric_limits<Cost>::infinity();
+  std::size_t iterations = 0;
+  double seconds = 0.0;
+  bool converged = false;
+
+  /// Duality gap (energy − lower_bound); infinity when no bound exists.
+  [[nodiscard]] Cost gap() const noexcept { return energy - lower_bound; }
+};
+
+/// Abstract energy-minimisation strategy (Core Guidelines C.121: interface
+/// base class).  Implementations are stateless between solve() calls and
+/// safe to reuse across problems.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual SolveResult solve(const Mrf& mrf, const SolveOptions& options) const = 0;
+
+  [[nodiscard]] SolveResult solve(const Mrf& mrf) const { return solve(mrf, SolveOptions{}); }
+};
+
+}  // namespace icsdiv::mrf

@@ -1,0 +1,473 @@
+#include "mrf/trws.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::mrf {
+
+namespace {
+
+/// One incident edge from the viewpoint of a fixed variable.
+struct Incident {
+  std::uint32_t edge;
+  VariableId other;
+  bool i_is_u;  ///< true when the viewpoint variable is the edge's `u` end
+};
+
+/// Message storage and sweep machinery for one solve.
+class Machine {
+ public:
+  Machine(const Mrf& mrf) : mrf_(mrf), n_(mrf.variable_count()) {
+    build_incidence();
+    build_forest();
+    allocate_messages();
+    scratch_d_.resize(mrf_.max_label_count());
+    scratch_t_.resize(mrf_.max_label_count());
+  }
+
+  /// One forward (`ascending=true`) or backward sweep.
+  void sweep(bool ascending) {
+    if (ascending) {
+      for (VariableId i = 0; i < n_; ++i) process(i, /*send_to_later=*/true);
+    } else {
+      for (VariableId i = n_; i-- > 0;) process(i, /*send_to_later=*/false);
+    }
+  }
+
+  /// Dual lower bound from the current message reparameterisation θ'
+  /// (θ'_i = θ_i + Σ incoming messages; θ'_e = θ_e − M_{u→v} − M_{v→u};
+  /// the reparameterised energy equals the original for every labeling).
+  /// Rather than the naive Σ min θ'_i + Σ min θ'_e — valid but loose — we
+  /// run exact dynamic programming over a spanning forest of the MRF under
+  /// θ' and add the independent minima of the chord edges only:
+  ///
+  ///   LB = Σ_trees min_x E_tree(x | θ') + Σ_{chords e} min θ'_e
+  ///
+  /// This is a valid bound for any message state, *exact* on trees and
+  /// chains (the forest covers every edge), and tightens as TRW-S shifts
+  /// mass onto the messages for loopy graphs.
+  [[nodiscard]] Cost lower_bound() const {
+    const std::size_t max_labels = mrf_.max_label_count();
+    // θ'_i for every variable, flattened.
+    std::vector<Cost> node_cost(n_ * max_labels, 0);
+    for (VariableId i = 0; i < n_; ++i) {
+      Cost* d = node_cost.data() + static_cast<std::size_t>(i) * max_labels;
+      const auto unary = mrf_.unary(i);
+      std::copy(unary.begin(), unary.end(), d);
+      for (const Incident& in : incident_[i]) {
+        const Cost* msg = message_into(in);
+        for (std::size_t x = 0; x < unary.size(); ++x) d[x] += msg[x];
+      }
+    }
+
+    const auto edges = mrf_.edges();
+    const auto edge_cost = [&](std::size_t e, std::size_t a, std::size_t b) {
+      // θ'_e(x_u = a, x_v = b).
+      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
+      const Cost* to_v = message_ptr(e, /*dir_u_to_v=*/true);
+      const Cost* to_u = message_ptr(e, /*dir_u_to_v=*/false);
+      return m.at(a, b) - to_v[b] - to_u[a];
+    };
+
+    Cost bound = 0;
+    // Chord edges contribute their independent minima.
+    for (std::size_t e : chord_edges_) {
+      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
+      Cost best = std::numeric_limits<Cost>::infinity();
+      for (std::size_t a = 0; a < m.rows; ++a) {
+        for (std::size_t b = 0; b < m.cols; ++b) best = std::min(best, edge_cost(e, a, b));
+      }
+      bound += best;
+    }
+
+    // Forest DP: children fold their subtree minima into the parent's
+    // node costs; roots contribute their final minima.  forest_order_ is
+    // a BFS order, so traversing it backwards visits children first.
+    std::vector<Cost> fold(max_labels);
+    for (auto it = forest_order_.rbegin(); it != forest_order_.rend(); ++it) {
+      const VariableId i = *it;
+      const std::size_t labels = mrf_.label_count(i);
+      Cost* d = node_cost.data() + static_cast<std::size_t>(i) * max_labels;
+      if (forest_parent_[i] == kNoParent) {
+        bound += *std::min_element(d, d + static_cast<std::ptrdiff_t>(labels));
+        continue;
+      }
+      const VariableId parent = forest_parent_[i];
+      const std::size_t e = forest_edge_[i];
+      const bool i_is_u = edges[e].u == i;
+      const std::size_t parent_labels = mrf_.label_count(parent);
+      for (std::size_t xp = 0; xp < parent_labels; ++xp) {
+        Cost best = std::numeric_limits<Cost>::infinity();
+        for (std::size_t xi = 0; xi < labels; ++xi) {
+          const Cost pairwise = i_is_u ? edge_cost(e, xi, xp) : edge_cost(e, xp, xi);
+          best = std::min(best, d[xi] + pairwise);
+        }
+        fold[xp] = best;
+      }
+      Cost* parent_cost = node_cost.data() + static_cast<std::size_t>(parent) * max_labels;
+      for (std::size_t xp = 0; xp < parent_labels; ++xp) parent_cost[xp] += fold[xp];
+    }
+    return bound;
+  }
+
+  /// Greedy conditioned extraction in ascending order: earlier variables
+  /// contribute their fixed labels, later ones their incoming messages.
+  [[nodiscard]] std::vector<Label> extract() const {
+    std::vector<Label> labels(n_, 0);
+    std::vector<Cost> score(mrf_.max_label_count());
+    for (VariableId i = 0; i < n_; ++i) {
+      const std::size_t count = mrf_.label_count(i);
+      const auto unary = mrf_.unary(i);
+      std::copy(unary.begin(), unary.end(), score.begin());
+      for (const Incident& in : incident_[i]) {
+        if (in.other < i) {
+          const CostMatrix& m = mrf_.matrix(mrf_.edges()[in.edge].matrix);
+          const Label fixed = labels[in.other];
+          if (in.i_is_u) {
+            for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, fixed);
+          } else {
+            const Cost* row = m.data.data() + static_cast<std::size_t>(fixed) * m.cols;
+            for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
+          }
+        } else {
+          const Cost* msg = message_into(in);
+          for (std::size_t x = 0; x < count; ++x) score[x] += msg[x];
+        }
+      }
+      const auto begin = score.begin();
+      const auto end = begin + static_cast<std::ptrdiff_t>(count);
+      labels[i] = static_cast<Label>(std::min_element(begin, end) - begin);
+    }
+    return labels;
+  }
+
+  /// One joint-move sweep over edges: for each edge, re-optimise both
+  /// endpoint labels together given the rest of the labeling.  Escapes the
+  /// single-variable local minima that ICM cannot leave on frustrated
+  /// (anti-Potts) cycles — exactly the structure diversity energies have,
+  /// where a "defect" (a similar adjacent pair) must slide around a cycle
+  /// to its cheapest edge.  Returns whether any labels changed.
+  bool pair_sweep(std::vector<Label>& labels) const {
+    bool changed = false;
+    const auto edges = mrf_.edges();
+    // Conditional cost of labeling variable i with x, excluding edge `skip`.
+    const auto conditional = [&](VariableId i, std::size_t x, std::size_t skip) {
+      Cost total = mrf_.unary(i)[x];
+      for (const Incident& in : incident_[i]) {
+        if (in.edge == skip) continue;
+        const CostMatrix& m = mrf_.matrix(edges[in.edge].matrix);
+        total += in.i_is_u ? m.at(x, labels[in.other]) : m.at(labels[in.other], x);
+      }
+      return total;
+    };
+    std::vector<Cost> cost_u(mrf_.max_label_count());
+    std::vector<Cost> cost_v(mrf_.max_label_count());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const VariableId u = edges[e].u;
+      const VariableId v = edges[e].v;
+      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
+      // Precompute both conditional profiles once: O(L·deg) per edge.
+      for (std::size_t a = 0; a < m.rows; ++a) cost_u[a] = conditional(u, a, e);
+      for (std::size_t b = 0; b < m.cols; ++b) cost_v[b] = conditional(v, b, e);
+      Cost best = cost_u[labels[u]] + cost_v[labels[v]] + m.at(labels[u], labels[v]);
+      Label best_u = labels[u];
+      Label best_v = labels[v];
+      for (std::size_t a = 0; a < m.rows; ++a) {
+        const Cost* row = m.data.data() + a * m.cols;
+        for (std::size_t b = 0; b < m.cols; ++b) {
+          const Cost joint = cost_u[a] + cost_v[b] + row[b];
+          if (joint + 1e-12 < best) {
+            best = joint;
+            best_u = static_cast<Label>(a);
+            best_v = static_cast<Label>(b);
+          }
+        }
+      }
+      if (best_u != labels[u] || best_v != labels[v]) {
+        labels[u] = best_u;
+        labels[v] = best_v;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// One ICM (coordinate-descent) sweep over `labels`; returns whether any
+  /// label changed.  Used to polish the extracted primal: message-passing
+  /// rounding can leave single-variable improvements on the table.
+  bool icm_sweep(std::vector<Label>& labels) const {
+    bool changed = false;
+    std::vector<Cost> score(mrf_.max_label_count());
+    const auto edges = mrf_.edges();
+    for (VariableId i = 0; i < n_; ++i) {
+      const std::size_t count = mrf_.label_count(i);
+      const auto unary = mrf_.unary(i);
+      std::copy(unary.begin(), unary.end(), score.begin());
+      for (const Incident& in : incident_[i]) {
+        const CostMatrix& m = mrf_.matrix(edges[in.edge].matrix);
+        const Label other = labels[in.other];
+        if (in.i_is_u) {
+          for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, other);
+        } else {
+          const Cost* row = m.data.data() + static_cast<std::size_t>(other) * m.cols;
+          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
+        }
+      }
+      const auto begin = score.begin();
+      const auto end = begin + static_cast<std::ptrdiff_t>(count);
+      const auto best = static_cast<Label>(std::min_element(begin, end) - begin);
+      if (best != labels[i] && score[best] < score[labels[i]]) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+ private:
+  void build_incidence() {
+    incident_.resize(n_);
+    gamma_.assign(n_, 1.0);
+    const auto edges = mrf_.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      incident_[edges[e].u].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].v, true});
+      incident_[edges[e].v].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].u, false});
+    }
+    for (VariableId i = 0; i < n_; ++i) {
+      std::size_t later = 0;
+      std::size_t earlier = 0;
+      for (const Incident& in : incident_[i]) {
+        (in.other > i ? later : earlier) += 1;
+      }
+      const std::size_t denom = std::max(later, earlier);
+      gamma_[i] = denom == 0 ? 1.0 : 1.0 / static_cast<double>(denom);
+    }
+  }
+
+  /// BFS spanning forest over the MRF adjacency; parallel edges beyond the
+  /// first and all non-forest edges become chords.
+  void build_forest() {
+    forest_parent_.assign(n_, kNoParent);
+    forest_edge_.assign(n_, 0);
+    std::vector<bool> visited(n_, false);
+    std::vector<bool> edge_in_forest(mrf_.edge_count(), false);
+    forest_order_.clear();
+    forest_order_.reserve(n_);
+    for (VariableId seed = 0; seed < n_; ++seed) {
+      if (visited[seed]) continue;
+      visited[seed] = true;
+      std::size_t frontier_begin = forest_order_.size();
+      forest_order_.push_back(seed);
+      while (frontier_begin < forest_order_.size()) {
+        const VariableId u = forest_order_[frontier_begin++];
+        for (const Incident& in : incident_[u]) {
+          if (visited[in.other]) continue;
+          visited[in.other] = true;
+          forest_parent_[in.other] = u;
+          forest_edge_[in.other] = in.edge;
+          edge_in_forest[in.edge] = true;
+          forest_order_.push_back(in.other);
+        }
+      }
+    }
+    chord_edges_.clear();
+    for (std::size_t e = 0; e < mrf_.edge_count(); ++e) {
+      if (!edge_in_forest[e]) chord_edges_.push_back(e);
+    }
+  }
+
+  void allocate_messages() {
+    const auto edges = mrf_.edges();
+    offsets_.resize(edges.size() * 2 + 1);
+    offsets_[0] = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      // dir 0 (index 2e):   u→v, defined over v's labels
+      // dir 1 (index 2e+1): v→u, defined over u's labels
+      offsets_[2 * e + 1] = offsets_[2 * e] + mrf_.label_count(edges[e].v);
+      offsets_[2 * e + 2] = offsets_[2 * e + 1] + mrf_.label_count(edges[e].u);
+    }
+    messages_.assign(offsets_.back(), Cost{0});
+  }
+
+  [[nodiscard]] const Cost* message_ptr(std::size_t edge, bool dir_u_to_v) const {
+    return messages_.data() + offsets_[2 * edge + (dir_u_to_v ? 0 : 1)];
+  }
+  [[nodiscard]] Cost* message_ptr(std::size_t edge, bool dir_u_to_v) {
+    return messages_.data() + offsets_[2 * edge + (dir_u_to_v ? 0 : 1)];
+  }
+
+  /// Message flowing *into* the viewpoint variable of `in`.
+  [[nodiscard]] const Cost* message_into(const Incident& in) const {
+    // If the viewpoint is u, the incoming message is v→u (dir 1).
+    return message_ptr(in.edge, /*dir_u_to_v=*/!in.i_is_u);
+  }
+
+  /// Processes variable i in a sweep: aggregates θ̂_i, then updates the
+  /// messages towards neighbours on the sweep's leading side.
+  void process(VariableId i, bool send_to_later) {
+    const std::size_t count = mrf_.label_count(i);
+    Cost* d = scratch_d_.data();
+    const auto unary = mrf_.unary(i);
+    std::copy(unary.begin(), unary.end(), d);
+    for (const Incident& in : incident_[i]) {
+      const Cost* msg = message_into(in);
+      for (std::size_t x = 0; x < count; ++x) d[x] += msg[x];
+    }
+    const double gamma = gamma_[i];
+
+    for (const Incident& in : incident_[i]) {
+      const bool is_later = in.other > i;
+      if (is_later != send_to_later) continue;
+
+      const CostMatrix& m = mrf_.matrix(mrf_.edges()[in.edge].matrix);
+      const Cost* reverse = message_into(in);  // M_{j→i}
+      Cost* t = scratch_t_.data();
+      for (std::size_t x = 0; x < count; ++x) t[x] = gamma * d[x] - reverse[x];
+
+      Cost* out = message_ptr(in.edge, /*dir_u_to_v=*/in.i_is_u);
+      const std::size_t out_count = mrf_.label_count(in.other);
+      std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
+      if (in.i_is_u) {
+        // θ(x_i, x_j) = m.at(x_i, x_j): row per x_i is contiguous over x_j.
+        for (std::size_t xi = 0; xi < count; ++xi) {
+          const Cost* row = m.data.data() + xi * m.cols;
+          const Cost base = t[xi];
+          for (std::size_t xj = 0; xj < out_count; ++xj) {
+            out[xj] = std::min(out[xj], base + row[xj]);
+          }
+        }
+      } else {
+        // θ(x_i, x_j) = m.at(x_j, x_i): row per x_j is contiguous over x_i.
+        for (std::size_t xj = 0; xj < out_count; ++xj) {
+          const Cost* row = m.data.data() + xj * m.cols;
+          Cost best = std::numeric_limits<Cost>::infinity();
+          for (std::size_t xi = 0; xi < count; ++xi) {
+            best = std::min(best, t[xi] + row[xi]);
+          }
+          out[xj] = best;
+        }
+      }
+      // Normalise to min 0 to keep message magnitudes bounded.
+      const Cost delta =
+          *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
+      for (std::size_t xj = 0; xj < out_count; ++xj) out[xj] -= delta;
+    }
+  }
+
+  static constexpr VariableId kNoParent = static_cast<VariableId>(-1);
+
+  const Mrf& mrf_;
+  const std::size_t n_;
+  std::vector<std::vector<Incident>> incident_;
+  std::vector<double> gamma_;
+  std::vector<std::size_t> offsets_;
+  std::vector<Cost> messages_;
+  std::vector<Cost> scratch_d_;
+  std::vector<Cost> scratch_t_;
+  // Spanning forest for the lower bound (see lower_bound()).
+  std::vector<VariableId> forest_parent_;
+  std::vector<std::size_t> forest_edge_;   ///< edge to parent, per non-root
+  std::vector<VariableId> forest_order_;   ///< BFS order, roots first
+  std::vector<std::size_t> chord_edges_;
+};
+
+}  // namespace
+
+SolveResult TrwsSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  TrwsOptions extended = defaults_;
+  static_cast<SolveOptions&>(extended) = options;
+  return solve_trws(mrf, extended);
+}
+
+SolveResult TrwsSolver::solve_trws(const Mrf& mrf, const TrwsOptions& options) const {
+  support::Stopwatch watch;
+  SolveResult result;
+  result.labels.assign(mrf.variable_count(), 0);
+  if (mrf.variable_count() == 0) {
+    result.energy = 0;
+    result.lower_bound = 0;
+    result.converged = true;
+    return result;
+  }
+
+  if (!options.initial_labels.empty()) {
+    mrf.check_labeling(options.initial_labels);
+    result.labels = options.initial_labels;
+  }
+  result.energy = mrf.energy(result.labels);
+
+  Machine machine(mrf);
+  Cost previous_bound = -std::numeric_limits<Cost>::infinity();
+
+  for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    machine.sweep(/*ascending=*/true);
+    machine.sweep(/*ascending=*/false);
+
+    const Cost bound = machine.lower_bound();
+    result.lower_bound = std::max(result.lower_bound, bound);
+
+    if (options.track_best_primal || iteration == options.max_iterations) {
+      std::vector<Label> labels = machine.extract();
+      const Cost energy = mrf.energy(labels);
+      if (energy < result.energy) {
+        result.energy = energy;
+        result.labels = std::move(labels);
+      }
+    }
+    result.iterations = iteration;
+
+    support::LogLine(support::LogLevel::Debug)
+        << "trws iter " << iteration << ": bound=" << bound << " energy=" << result.energy;
+
+    // Converged: the dual stalled and the primal already matches it (or the
+    // dual improvement fell below tolerance).
+    if (std::abs(bound - previous_bound) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (result.energy - bound < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    previous_bound = bound;
+
+    if (options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds) break;
+  }
+
+  // Ensure a final extraction happened even when track_best_primal is off
+  // and the loop exited early.
+  if (!options.track_best_primal) {
+    std::vector<Label> labels = machine.extract();
+    const Cost energy = mrf.energy(labels);
+    if (energy < result.energy) {
+      result.energy = energy;
+      result.labels = std::move(labels);
+    }
+  }
+
+  // Polish the best rounding once: coordinate descent, then joint edge
+  // moves for frustrated (anti-Potts) cycles, repeated until stable.  All
+  // moves are monotone, so this can only improve the primal.
+  {
+    std::vector<Label> labels = result.labels;
+    for (int round = 0; round < 3; ++round) {
+      bool changed = false;
+      for (int sweep = 0; sweep < 4 && machine.icm_sweep(labels); ++sweep) changed = true;
+      if (machine.pair_sweep(labels)) changed = true;
+      if (!changed) break;
+    }
+    const Cost energy = mrf.energy(labels);
+    if (energy < result.energy) {
+      result.energy = energy;
+      result.labels = std::move(labels);
+    }
+  }
+
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace icsdiv::mrf

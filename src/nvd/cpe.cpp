@@ -1,0 +1,132 @@
+#include "nvd/cpe.hpp"
+
+#include <array>
+#include <vector>
+
+namespace icsdiv::nvd {
+
+char to_char(CpePart part) noexcept {
+  switch (part) {
+    case CpePart::Os: return 'o';
+    case CpePart::Application: return 'a';
+    case CpePart::Hardware: return 'h';
+  }
+  return '?';
+}
+
+CpePart cpe_part_from_char(char c) {
+  switch (c) {
+    case 'o': return CpePart::Os;
+    case 'a': return CpePart::Application;
+    case 'h': return CpePart::Hardware;
+    default:
+      throw InvalidArgument(std::string("CpeUri: unknown part character '") + c + "'");
+  }
+}
+
+namespace {
+
+/// NVD uses "-" for "not applicable"; we treat it like unspecified.
+std::optional<std::string> component(std::string_view raw) {
+  if (raw.empty() || raw == "-") return std::nullopt;
+  return std::string(raw);
+}
+
+void validate_component(const char* what, const std::optional<std::string>& value) {
+  if (!value) return;
+  require(value->find(':') == std::string::npos, "CpeUri",
+          std::string(what) + " must not contain ':'");
+}
+
+}  // namespace
+
+CpeUri::CpeUri(CpePart part, std::string vendor, std::string product,
+               std::optional<std::string> version, std::optional<std::string> update,
+               std::optional<std::string> edition, std::optional<std::string> language)
+    : part_(part),
+      vendor_(std::move(vendor)),
+      product_(std::move(product)),
+      version_(std::move(version)),
+      update_(std::move(update)),
+      edition_(std::move(edition)),
+      language_(std::move(language)) {
+  require(!vendor_.empty(), "CpeUri", "vendor must not be empty");
+  require(!product_.empty(), "CpeUri", "product must not be empty");
+  require(vendor_.find(':') == std::string::npos, "CpeUri", "vendor must not contain ':'");
+  require(product_.find(':') == std::string::npos, "CpeUri", "product must not contain ':'");
+  validate_component("version", version_);
+  validate_component("update", update_);
+  validate_component("edition", edition_);
+  validate_component("language", language_);
+}
+
+CpeUri CpeUri::parse(std::string_view text) {
+  constexpr std::string_view prefix = "cpe:/";
+  if (text.substr(0, prefix.size()) != prefix) {
+    throw ParseError("CpeUri: URI must start with 'cpe:/': " + std::string(text));
+  }
+  std::string_view rest = text.substr(prefix.size());
+
+  std::vector<std::string_view> fields;
+  while (true) {
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      fields.push_back(rest);
+      break;
+    }
+    fields.push_back(rest.substr(0, colon));
+    rest = rest.substr(colon + 1);
+  }
+  if (fields.size() < 3 || fields.size() > 7) {
+    throw ParseError("CpeUri: expected 3–7 components: " + std::string(text));
+  }
+  if (fields[0].size() != 1) {
+    throw ParseError("CpeUri: part must be a single character: " + std::string(text));
+  }
+  if (fields[1].empty() || fields[2].empty()) {
+    throw ParseError("CpeUri: vendor and product are required: " + std::string(text));
+  }
+
+  const auto field = [&](std::size_t index) -> std::optional<std::string> {
+    return index < fields.size() ? component(fields[index]) : std::nullopt;
+  };
+  return CpeUri(cpe_part_from_char(fields[0][0]), std::string(fields[1]), std::string(fields[2]),
+                field(3), field(4), field(5), field(6));
+}
+
+std::string CpeUri::to_string() const {
+  std::string out = "cpe:/";
+  out.push_back(to_char(part_));
+  out.push_back(':');
+  out += vendor_;
+  out.push_back(':');
+  out += product_;
+  // Emit optional components up to the last specified one.
+  const std::array<const std::optional<std::string>*, 4> tail{&version_, &update_, &edition_,
+                                                              &language_};
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    if (tail[i]->has_value()) last = i + 1;
+  }
+  for (std::size_t i = 0; i < last; ++i) {
+    out.push_back(':');
+    if (tail[i]->has_value()) out += **tail[i];
+  }
+  return out;
+}
+
+bool CpeUri::matches(const CpeUri& entry) const noexcept {
+  if (part_ != entry.part_) return false;
+  if (vendor_ != entry.vendor_) return false;
+  if (product_ != entry.product_) return false;
+  const auto component_matches = [](const std::optional<std::string>& query,
+                                    const std::optional<std::string>& value) {
+    return !query.has_value() || (value.has_value() && *query == *value);
+  };
+  return component_matches(version_, entry.version_) &&
+         component_matches(update_, entry.update_) &&
+         component_matches(edition_, entry.edition_) &&
+         component_matches(language_, entry.language_);
+}
+
+}  // namespace icsdiv::nvd

@@ -1,0 +1,68 @@
+// Common Platform Enumeration (CPE) 2.2 URIs.
+//
+// NVD entries list affected products as CPE URIs such as
+// `cpe:/o:microsoft:windows_7` or `cpe:/a:google:chrome:50.0` (Table I of
+// the paper).  The similarity pipeline filters vulnerabilities per product
+// with CPE *queries*: a query matches an entry when every component the
+// query specifies equals the entry's component (prefix semantics), which is
+// exactly how the paper distinguishes e.g. windows_7 from windows_8.1 while
+// still grouping all updates of one release.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace icsdiv::nvd {
+
+/// CPE part: operating system, application, or hardware.
+enum class CpePart { Os, Application, Hardware };
+
+[[nodiscard]] char to_char(CpePart part) noexcept;
+[[nodiscard]] CpePart cpe_part_from_char(char c);
+
+/// A parsed CPE 2.2 URI.  `version`, `update`, `edition` and `language`
+/// are optional; an empty component in the URI ("::" or trailing ":-")
+/// parses as "unspecified".
+class CpeUri {
+ public:
+  CpeUri(CpePart part, std::string vendor, std::string product,
+         std::optional<std::string> version = std::nullopt,
+         std::optional<std::string> update = std::nullopt,
+         std::optional<std::string> edition = std::nullopt,
+         std::optional<std::string> language = std::nullopt);
+
+  /// Parses `cpe:/o:vendor:product[:version[:update[:edition[:language]]]]`.
+  static CpeUri parse(std::string_view text);
+
+  [[nodiscard]] CpePart part() const noexcept { return part_; }
+  [[nodiscard]] const std::string& vendor() const noexcept { return vendor_; }
+  [[nodiscard]] const std::string& product() const noexcept { return product_; }
+  [[nodiscard]] const std::optional<std::string>& version() const noexcept { return version_; }
+  [[nodiscard]] const std::optional<std::string>& update() const noexcept { return update_; }
+  [[nodiscard]] const std::optional<std::string>& edition() const noexcept { return edition_; }
+  [[nodiscard]] const std::optional<std::string>& language() const noexcept { return language_; }
+
+  /// Renders the canonical URI (omits trailing unspecified components).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Prefix matching: does this *query* match `entry`?  Every component
+  /// specified on the query must equal the entry's; unspecified query
+  /// components match anything (including unspecified).
+  [[nodiscard]] bool matches(const CpeUri& entry) const noexcept;
+
+  friend bool operator==(const CpeUri&, const CpeUri&) = default;
+
+ private:
+  CpePart part_;
+  std::string vendor_;
+  std::string product_;
+  std::optional<std::string> version_;
+  std::optional<std::string> update_;
+  std::optional<std::string> edition_;
+  std::optional<std::string> language_;
+};
+
+}  // namespace icsdiv::nvd

@@ -1,0 +1,49 @@
+#include "nvd/cve.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "nvd/cvss.hpp"
+
+namespace icsdiv::nvd {
+
+bool is_valid_cve_id(std::string_view cve_id) noexcept {
+  constexpr std::string_view prefix = "CVE-";
+  if (cve_id.substr(0, prefix.size()) != prefix) return false;
+  const std::string_view rest = cve_id.substr(prefix.size());
+  const std::size_t dash = rest.find('-');
+  if (dash != 4) return false;  // four-digit year
+  const std::string_view year = rest.substr(0, dash);
+  const std::string_view sequence = rest.substr(dash + 1);
+  if (sequence.size() < 4) return false;  // NVD pads to at least four digits
+  const auto all_digits = [](std::string_view s) {
+    for (char c : s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+    return !s.empty();
+  };
+  return all_digits(year) && all_digits(sequence);
+}
+
+int cve_year(std::string_view cve_id) {
+  require(is_valid_cve_id(cve_id), "cve_year", "malformed CVE identifier");
+  int year = 0;
+  const std::string_view digits = cve_id.substr(4, 4);
+  std::from_chars(digits.data(), digits.data() + digits.size(), year);
+  return year;
+}
+
+void CveEntry::validate() const {
+  require(is_valid_cve_id(id), "CveEntry::validate", "malformed CVE identifier: " + id);
+  require(year == cve_year(id), "CveEntry::validate", "year does not match identifier: " + id);
+  require(cvss >= 0.0 && cvss <= 10.0, "CveEntry::validate", "CVSS must be in [0,10]: " + id);
+  require(!affected.empty(), "CveEntry::validate", "entry must affect at least one CPE: " + id);
+  if (!cvss_vector.empty()) {
+    const CvssV2Vector parsed = CvssV2Vector::parse(cvss_vector);
+    require(std::abs(parsed.base_score() - cvss) < 0.05, "CveEntry::validate",
+            "CVSS vector does not reproduce the base score: " + id);
+  }
+}
+
+}  // namespace icsdiv::nvd

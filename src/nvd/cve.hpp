@@ -1,0 +1,35 @@
+// CVE entries: the unit record of the vulnerability database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nvd/cpe.hpp"
+
+namespace icsdiv::nvd {
+
+/// One vulnerability record, mirroring the NVD fields the similarity
+/// pipeline consumes (Table I of the paper): the CVE identifier and the
+/// list of affected products as CPE URIs.  Year and CVSS score are carried
+/// for filtering (the paper studies 1999–2016).
+struct CveEntry {
+  std::string id;             ///< "CVE-2016-7153"
+  int year = 0;               ///< publication year
+  double cvss = 0.0;          ///< CVSS v2 base score in [0, 10]
+  std::string cvss_vector;    ///< "AV:N/AC:L/..." (empty when unknown)
+  std::vector<CpeUri> affected;
+
+  /// Validates the identifier format and field ranges (including that a
+  /// non-empty vector parses and reproduces `cvss`); throws on failure.
+  void validate() const;
+};
+
+/// Parses the year out of a CVE identifier ("CVE-2016-7153" → 2016).
+[[nodiscard]] int cve_year(std::string_view cve_id);
+
+/// Checks "CVE-<year>-<4+ digits>" syntax.
+[[nodiscard]] bool is_valid_cve_id(std::string_view cve_id) noexcept;
+
+}  // namespace icsdiv::nvd

@@ -1,0 +1,193 @@
+#include "nvd/cvss.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace icsdiv::nvd {
+
+namespace {
+
+double weight(AccessVector v) {
+  switch (v) {
+    case AccessVector::Local: return 0.395;
+    case AccessVector::AdjacentNetwork: return 0.646;
+    case AccessVector::Network: return 1.0;
+  }
+  throw LogicError("CvssV2Vector: bad access vector");
+}
+
+double weight(AccessComplexity v) {
+  switch (v) {
+    case AccessComplexity::High: return 0.35;
+    case AccessComplexity::Medium: return 0.61;
+    case AccessComplexity::Low: return 0.71;
+  }
+  throw LogicError("CvssV2Vector: bad access complexity");
+}
+
+double weight(Authentication v) {
+  switch (v) {
+    case Authentication::Multiple: return 0.45;
+    case Authentication::Single: return 0.56;
+    case Authentication::None: return 0.704;
+  }
+  throw LogicError("CvssV2Vector: bad authentication");
+}
+
+double weight(ImpactLevel v) {
+  switch (v) {
+    case ImpactLevel::None: return 0.0;
+    case ImpactLevel::Partial: return 0.275;
+    case ImpactLevel::Complete: return 0.660;
+  }
+  throw LogicError("CvssV2Vector: bad impact level");
+}
+
+char letter(AccessVector v) {
+  switch (v) {
+    case AccessVector::Local: return 'L';
+    case AccessVector::AdjacentNetwork: return 'A';
+    case AccessVector::Network: return 'N';
+  }
+  return '?';
+}
+
+char letter(AccessComplexity v) {
+  switch (v) {
+    case AccessComplexity::High: return 'H';
+    case AccessComplexity::Medium: return 'M';
+    case AccessComplexity::Low: return 'L';
+  }
+  return '?';
+}
+
+char letter(Authentication v) {
+  switch (v) {
+    case Authentication::Multiple: return 'M';
+    case Authentication::Single: return 'S';
+    case Authentication::None: return 'N';
+  }
+  return '?';
+}
+
+char letter(ImpactLevel v) {
+  switch (v) {
+    case ImpactLevel::None: return 'N';
+    case ImpactLevel::Partial: return 'P';
+    case ImpactLevel::Complete: return 'C';
+  }
+  return '?';
+}
+
+[[noreturn]] void bad_vector(std::string_view text, const char* reason) {
+  throw ParseError("CvssV2Vector: " + std::string(reason) + ": " + std::string(text));
+}
+
+}  // namespace
+
+CvssV2Vector CvssV2Vector::parse(std::string_view text) {
+  CvssV2Vector vector;
+  bool seen[6] = {false, false, false, false, false, false};
+
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view field = rest.substr(0, slash);
+    rest = slash == std::string_view::npos ? std::string_view{} : rest.substr(slash + 1);
+
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon + 1 != field.size() - 1) {
+      bad_vector(text, "malformed metric field");
+    }
+    const std::string_view metric = field.substr(0, colon);
+    const char value = field[colon + 1];
+
+    if (metric == "AV") {
+      seen[0] = true;
+      if (value == 'L') vector.access_vector = AccessVector::Local;
+      else if (value == 'A') vector.access_vector = AccessVector::AdjacentNetwork;
+      else if (value == 'N') vector.access_vector = AccessVector::Network;
+      else bad_vector(text, "unknown AV value");
+    } else if (metric == "AC") {
+      seen[1] = true;
+      if (value == 'H') vector.access_complexity = AccessComplexity::High;
+      else if (value == 'M') vector.access_complexity = AccessComplexity::Medium;
+      else if (value == 'L') vector.access_complexity = AccessComplexity::Low;
+      else bad_vector(text, "unknown AC value");
+    } else if (metric == "Au") {
+      seen[2] = true;
+      if (value == 'M') vector.authentication = Authentication::Multiple;
+      else if (value == 'S') vector.authentication = Authentication::Single;
+      else if (value == 'N') vector.authentication = Authentication::None;
+      else bad_vector(text, "unknown Au value");
+    } else if (metric == "C" || metric == "I" || metric == "A") {
+      ImpactLevel level;
+      if (value == 'N') level = ImpactLevel::None;
+      else if (value == 'P') level = ImpactLevel::Partial;
+      else if (value == 'C') level = ImpactLevel::Complete;
+      else bad_vector(text, "unknown impact value");
+      if (metric == "C") {
+        seen[3] = true;
+        vector.confidentiality = level;
+      } else if (metric == "I") {
+        seen[4] = true;
+        vector.integrity = level;
+      } else {
+        seen[5] = true;
+        vector.availability = level;
+      }
+    } else {
+      bad_vector(text, "unknown metric");
+    }
+  }
+  for (bool flag : seen) {
+    if (!flag) bad_vector(text, "missing metric");
+  }
+  return vector;
+}
+
+std::string CvssV2Vector::to_string() const {
+  std::string out = "AV:";
+  out += letter(access_vector);
+  out += "/AC:";
+  out += letter(access_complexity);
+  out += "/Au:";
+  out += letter(authentication);
+  out += "/C:";
+  out += letter(confidentiality);
+  out += "/I:";
+  out += letter(integrity);
+  out += "/A:";
+  out += letter(availability);
+  return out;
+}
+
+double CvssV2Vector::base_score() const {
+  // Official CVSS v2 base equation.
+  const double impact = 10.41 * (1.0 - (1.0 - weight(confidentiality)) *
+                                           (1.0 - weight(integrity)) *
+                                           (1.0 - weight(availability)));
+  const double exploitability =
+      20.0 * weight(access_vector) * weight(access_complexity) * weight(authentication);
+  const double f_impact = impact == 0.0 ? 0.0 : 1.176;
+  const double score = ((0.6 * impact) + (0.4 * exploitability) - 1.5) * f_impact;
+  return std::round(score * 10.0) / 10.0;
+}
+
+Severity severity_of(double base_score) {
+  require(base_score >= 0.0 && base_score <= 10.0, "severity_of", "score must be in [0,10]");
+  if (base_score < 4.0) return Severity::Low;
+  if (base_score < 7.0) return Severity::Medium;
+  return Severity::High;
+}
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Low: return "LOW";
+    case Severity::Medium: return "MEDIUM";
+    case Severity::High: return "HIGH";
+  }
+  return "?";
+}
+
+}  // namespace icsdiv::nvd

@@ -1,0 +1,49 @@
+// CVSS v2 base vectors and scores.
+//
+// NVD entries of the paper's study period (1999–2016) carry CVSS v2 base
+// vectors such as "AV:N/AC:L/Au:N/C:P/I:P/A:P".  The synthetic feed
+// generates internally-consistent vector/score pairs, and the database
+// exposes severity filtering — useful when extending the similarity study
+// to "only critical vulnerabilities" (a common reviewer ask).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+
+namespace icsdiv::nvd {
+
+enum class AccessVector { Local, AdjacentNetwork, Network };
+enum class AccessComplexity { High, Medium, Low };
+enum class Authentication { Multiple, Single, None };
+enum class ImpactLevel { None, Partial, Complete };
+
+struct CvssV2Vector {
+  AccessVector access_vector = AccessVector::Network;
+  AccessComplexity access_complexity = AccessComplexity::Low;
+  Authentication authentication = Authentication::None;
+  ImpactLevel confidentiality = ImpactLevel::None;
+  ImpactLevel integrity = ImpactLevel::None;
+  ImpactLevel availability = ImpactLevel::None;
+
+  /// Parses "AV:N/AC:L/Au:N/C:P/I:P/A:P" (order-insensitive, all six
+  /// metrics required).
+  static CvssV2Vector parse(std::string_view text);
+
+  /// Canonical "AV:_/AC:_/Au:_/C:_/I:_/A:_" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// CVSS v2 base score per the official equation, rounded to one decimal.
+  [[nodiscard]] double base_score() const;
+
+  friend bool operator==(const CvssV2Vector&, const CvssV2Vector&) = default;
+};
+
+/// Severity buckets as used by NVD for CVSS v2.
+enum class Severity { Low, Medium, High };
+
+[[nodiscard]] Severity severity_of(double base_score);
+[[nodiscard]] const char* to_string(Severity severity) noexcept;
+
+}  // namespace icsdiv::nvd

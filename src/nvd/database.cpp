@@ -1,0 +1,88 @@
+#include "nvd/database.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icsdiv::nvd {
+
+void VulnerabilityDatabase::add(CveEntry entry) {
+  entry.validate();
+  require(!contains(entry.id), "VulnerabilityDatabase::add", "duplicate CVE id: " + entry.id);
+  ids_.insert(entry.id);
+  entries_.push_back(std::move(entry));
+}
+
+bool VulnerabilityDatabase::contains(std::string_view cve_id) const noexcept {
+  return ids_.find(std::string(cve_id)) != ids_.end();
+}
+
+std::vector<const CveEntry*> VulnerabilityDatabase::query(const CpeUri& cpe_query, int year_from,
+                                                          int year_to) const {
+  std::vector<const CveEntry*> out;
+  for (const CveEntry& entry : entries_) {
+    if (entry.year < year_from || entry.year > year_to) continue;
+    const bool hit = std::any_of(entry.affected.begin(), entry.affected.end(),
+                                 [&](const CpeUri& cpe) { return cpe_query.matches(cpe); });
+    if (hit) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<std::string> VulnerabilityDatabase::vulnerability_ids(const CpeUri& cpe_query,
+                                                                  int year_from,
+                                                                  int year_to) const {
+  std::vector<std::string> ids;
+  for (const CveEntry* entry : query(cpe_query, year_from, year_to)) ids.push_back(entry->id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+support::Json VulnerabilityDatabase::to_json() const {
+  support::JsonArray entries;
+  entries.reserve(entries_.size());
+  for (const CveEntry& entry : entries_) {
+    support::JsonObject object;
+    object.set("id", support::Json(entry.id));
+    object.set("cvss", support::Json(entry.cvss));
+    if (!entry.cvss_vector.empty()) {
+      object.set("cvss_vector", support::Json(entry.cvss_vector));
+    }
+    support::JsonArray affected;
+    affected.reserve(entry.affected.size());
+    for (const CpeUri& cpe : entry.affected) affected.emplace_back(cpe.to_string());
+    object.set("affected", support::Json(std::move(affected)));
+    entries.emplace_back(std::move(object));
+  }
+  support::JsonObject root;
+  root.set("format", support::Json("icsdiv-nvd-feed"));
+  root.set("version", support::Json(std::int64_t{1}));
+  root.set("entries", support::Json(std::move(entries)));
+  return support::Json(std::move(root));
+}
+
+VulnerabilityDatabase VulnerabilityDatabase::from_json(const support::Json& feed) {
+  VulnerabilityDatabase db;
+  const auto& root = feed.as_object();
+  for (const support::Json& item : root.at("entries").as_array()) {
+    const auto& object = item.as_object();
+    CveEntry entry;
+    entry.id = object.at("id").as_string();
+    entry.year = cve_year(entry.id);
+    entry.cvss = object.contains("cvss") ? object.at("cvss").as_double() : 0.0;
+    if (const support::Json* vector = object.find("cvss_vector")) {
+      entry.cvss_vector = vector->as_string();
+    }
+    for (const support::Json& cpe : object.at("affected").as_array()) {
+      entry.affected.push_back(CpeUri::parse(cpe.as_string()));
+    }
+    db.add(std::move(entry));
+  }
+  return db;
+}
+
+VulnerabilityDatabase VulnerabilityDatabase::from_json_text(std::string_view text) {
+  return from_json(support::Json::parse(text));
+}
+
+}  // namespace icsdiv::nvd

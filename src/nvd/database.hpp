@@ -1,0 +1,60 @@
+// In-memory vulnerability database with CPE-query filtering.
+//
+// This is the offline stand-in for the paper's CVE-SEARCH/NVD pipeline
+// (Section III): entries are loaded from a JSON feed (or generated
+// synthetically, see synthetic.hpp), and `vulnerability_ids(query)` plays
+// the role of "fetch necessary data from NVD, filter out vulnerabilities
+// for each studied product".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "nvd/cve.hpp"
+#include "support/json.hpp"
+
+namespace icsdiv::nvd {
+
+class VulnerabilityDatabase {
+ public:
+  VulnerabilityDatabase() = default;
+
+  /// Adds a validated entry; duplicate CVE ids throw.
+  void add(CveEntry entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::span<const CveEntry> entries() const noexcept { return entries_; }
+
+  [[nodiscard]] bool contains(std::string_view cve_id) const noexcept;
+
+  /// All entries whose affected list matches the CPE query, optionally
+  /// restricted to the inclusive year window.
+  [[nodiscard]] std::vector<const CveEntry*> query(const CpeUri& cpe_query,
+                                                   int year_from = 0,
+                                                   int year_to = 9999) const;
+
+  /// Sorted, de-duplicated CVE-id set for a product — the `V_x` of Def. 1.
+  [[nodiscard]] std::vector<std::string> vulnerability_ids(const CpeUri& cpe_query,
+                                                           int year_from = 0,
+                                                           int year_to = 9999) const;
+
+  /// Serialises the whole database as a JSON feed.
+  [[nodiscard]] support::Json to_json() const;
+
+  /// Parses a feed previously produced by to_json() (or hand-written in the
+  /// same dialect: {"entries": [{"id", "cvss", "affected": [cpe...]}]}).
+  static VulnerabilityDatabase from_json(const support::Json& feed);
+
+  /// Convenience: parse feed text directly.
+  static VulnerabilityDatabase from_json_text(std::string_view text);
+
+ private:
+  std::vector<CveEntry> entries_;
+  std::unordered_set<std::string> ids_;  ///< duplicate detection in O(1)
+};
+
+}  // namespace icsdiv::nvd

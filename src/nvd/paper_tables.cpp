@@ -1,0 +1,217 @@
+#include "nvd/paper_tables.hpp"
+
+namespace icsdiv::nvd {
+
+namespace {
+
+ProductRef ref(const char* name, const char* cpe) { return ProductRef{name, CpeUri::parse(cpe)}; }
+
+OverlapBlock pair(std::size_t i, std::size_t j, std::size_t count) {
+  return OverlapBlock{{i, j}, count};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table II — operating systems.
+//
+// Product order matches the paper: WinXP2, Win7, Win8.1, Win10, Ubt14.04,
+// Deb8.0, Mac10.5, Suse13.2, Fedora.
+OverlapSpec os_table_spec() {
+  enum : std::size_t { XP, W7, W81, W10, UBT, DEB, MAC, SUSE, FED };
+  OverlapSpec spec;
+  spec.products = {
+      ref("WinXP2", "cpe:/o:microsoft:windows_xp::sp2"),
+      ref("Win7", "cpe:/o:microsoft:windows_7"),
+      ref("Win8.1", "cpe:/o:microsoft:windows_8.1"),
+      ref("Win10", "cpe:/o:microsoft:windows_10"),
+      ref("Ubt14.04", "cpe:/o:canonical:ubuntu_linux:14.04"),
+      ref("Deb8.0", "cpe:/o:debian:debian_linux:8.0"),
+      ref("Mac10.5", "cpe:/o:apple:mac_os_x:10.5"),
+      ref("Suse13.2", "cpe:/o:novell:opensuse:13.2"),
+      ref("Fedora", "cpe:/o:redhat:fedora"),
+  };
+  spec.totals = {479, 1028, 572, 453, 612, 519, 424, 492, 367};
+
+  // Pairwise counts as printed.  The Windows 7/8.1/10 family cannot be
+  // realised with pairwise-disjoint sharing (8.1's row sums to 729 > 572),
+  // so 160 of the shared CVEs form a triple block; the printed pairwise
+  // counts are preserved exactly:  298 = 138+160, 421 = 261+160, 164 = 4+160.
+  spec.blocks = {
+      pair(XP, W7, 328),
+      pair(XP, W81, 10),
+      OverlapBlock{{W7, W81, W10}, 160},
+      pair(W7, W81, 138),
+      pair(W81, W10, 261),
+      pair(W7, W10, 4),
+      pair(W7, MAC, 109),
+      pair(UBT, DEB, 195),
+      pair(UBT, SUSE, 161),
+      pair(UBT, FED, 75),
+      pair(DEB, SUSE, 102),
+      pair(DEB, FED, 41),
+      pair(SUSE, FED, 89),
+      pair(MAC, FED, 1),
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Table III — web browsers.
+//
+// Order: IE8, IE10, Edge, Chrome, Firefox, Safari, SeaMonkey, Opera.
+OverlapSpec browser_table_spec() {
+  enum : std::size_t { IE8, IE10, EDGE, CHR, FF, SAF, SM, OP };
+  OverlapSpec spec;
+  spec.products = {
+      ref("IE8", "cpe:/a:microsoft:internet_explorer:8"),
+      ref("IE10", "cpe:/a:microsoft:internet_explorer:10"),
+      ref("Edge", "cpe:/a:microsoft:edge"),
+      ref("Chrome", "cpe:/a:google:chrome"),
+      ref("Firefox", "cpe:/a:mozilla:firefox"),
+      ref("Safari", "cpe:/a:apple:safari"),
+      ref("SeaMonkey", "cpe:/a:mozilla:seamonkey"),
+      ref("Opera", "cpe:/a:opera:opera_browser"),
+  };
+  // SeaMonkey total corrected to 699 (see header comment).
+  spec.totals = {349, 513, 194, 1661, 1502, 766, 699, 225};
+
+  spec.blocks = {
+      pair(IE8, IE10, 240),
+      pair(IE8, EDGE, 7),
+      pair(IE10, EDGE, 73),
+      pair(EDGE, CHR, 2),
+      pair(EDGE, FF, 2),
+      pair(EDGE, SAF, 2),
+      pair(EDGE, OP, 1),
+      pair(CHR, FF, 15),
+      pair(CHR, SAF, 21),
+      pair(CHR, SM, 3),
+      pair(CHR, OP, 6),
+      pair(FF, SAF, 6),
+      pair(FF, SM, 683),
+      pair(FF, OP, 7),
+      pair(SAF, SM, 1),
+      pair(SAF, OP, 4),
+      pair(SM, OP, 4),  // garbled in the source text; see header comment
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Database servers — synthetic (the paper does not publish this table).
+//
+// Structure mirrors the published tables: products of the same vendor
+// lineage share substantially (MSSQL 2008/2014 like Windows releases;
+// MariaDB forked from MySQL like SeaMonkey/Firefox), cross-vendor pairs
+// share nothing or almost nothing.
+OverlapSpec database_table_spec() {
+  enum : std::size_t { MS08, MS14, MY, MARIA };
+  OverlapSpec spec;
+  spec.products = {
+      ref("MSSQL08", "cpe:/a:microsoft:sql_server:2008"),
+      ref("MSSQL14", "cpe:/a:microsoft:sql_server:2014"),
+      ref("MySQL5.5", "cpe:/a:oracle:mysql:5.5"),
+      ref("MariaDB10", "cpe:/a:mariadb:mariadb:10"),
+  };
+  spec.totals = {220, 310, 540, 280};
+  spec.blocks = {
+      pair(MS08, MS14, 74),    // same vendor, adjacent releases → 0.162
+      pair(MY, MARIA, 208),    // fork lineage → 0.340
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Cached similarity tables.
+
+const SimilarityTable& paper_os_similarity() {
+  static const SimilarityTable table = os_table_spec().implied_similarity_table();
+  return table;
+}
+
+const SimilarityTable& paper_browser_similarity() {
+  static const SimilarityTable table = browser_table_spec().implied_similarity_table();
+  return table;
+}
+
+const SimilarityTable& paper_database_similarity() {
+  static const SimilarityTable table = database_table_spec().implied_similarity_table();
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Published decimals (lower triangle as printed; for bench comparison).
+
+namespace {
+
+PublishedTable build_published_os() {
+  PublishedTable table;
+  table.products = {"WinXP2", "Win7",    "Win8.1",  "Win10",  "Ubt14.04",
+                    "Deb8.0", "Mac10.5", "Suse13.2", "Fedora"};
+  const std::size_t n = table.products.size();
+  table.similarity.assign(n * n, 0.0);
+  const auto set = [&](std::size_t i, std::size_t j, double v) {
+    table.similarity[i * n + j] = v;
+    table.similarity[j * n + i] = v;
+  };
+  for (std::size_t i = 0; i < n; ++i) set(i, i, 1.0);
+  set(1, 0, 0.278);
+  set(2, 0, 0.009);
+  set(2, 1, 0.228);
+  set(3, 1, 0.124);
+  set(3, 2, 0.697);
+  set(5, 4, 0.208);
+  set(6, 1, 0.081);
+  set(7, 4, 0.170);
+  set(7, 5, 0.112);
+  set(8, 4, 0.083);
+  set(8, 5, 0.049);
+  set(8, 6, 0.001);
+  set(8, 7, 0.116);
+  return table;
+}
+
+PublishedTable build_published_browser() {
+  PublishedTable table;
+  table.products = {"IE8", "IE10", "Edge", "Chrome", "Firefox", "Safari", "SeaMonkey", "Opera"};
+  const std::size_t n = table.products.size();
+  table.similarity.assign(n * n, 0.0);
+  const auto set = [&](std::size_t i, std::size_t j, double v) {
+    table.similarity[i * n + j] = v;
+    table.similarity[j * n + i] = v;
+  };
+  for (std::size_t i = 0; i < n; ++i) set(i, i, 1.0);
+  set(1, 0, 0.386);
+  set(2, 0, 0.014);
+  set(2, 1, 0.121);
+  set(3, 2, 0.001);
+  set(4, 2, 0.001);
+  set(4, 3, 0.005);
+  set(5, 2, 0.002);
+  set(5, 3, 0.009);
+  set(5, 4, 0.003);
+  set(6, 3, 0.001);
+  set(6, 4, 0.450);
+  set(6, 5, 0.001);
+  set(7, 2, 0.003);
+  set(7, 3, 0.003);
+  set(7, 4, 0.004);
+  set(7, 5, 0.004);
+  set(7, 6, 0.004);  // corrected cell; source text is garbled here
+  return table;
+}
+
+}  // namespace
+
+const PublishedTable& published_os_table() {
+  static const PublishedTable table = build_published_os();
+  return table;
+}
+
+const PublishedTable& published_browser_table() {
+  static const PublishedTable table = build_published_browser();
+  return table;
+}
+
+}  // namespace icsdiv::nvd

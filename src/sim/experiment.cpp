@@ -1,0 +1,28 @@
+#include "sim/experiment.hpp"
+
+namespace icsdiv::sim {
+
+std::vector<MttcGridRow> run_mttc_grid(const MttcGridSpec& spec) {
+  require(!spec.assignments.empty(), "run_mttc_grid", "no assignments given");
+  require(!spec.entries.empty(), "run_mttc_grid", "no entry hosts given");
+
+  std::vector<MttcGridRow> rows;
+  rows.reserve(spec.assignments.size());
+  for (const auto& [name, assignment] : spec.assignments) {
+    require(assignment != nullptr, "run_mttc_grid", "null assignment");
+    const WormSimulator simulator(*assignment, spec.params);
+    MttcGridRow row;
+    row.assignment_name = name;
+    row.per_entry.reserve(spec.entries.size());
+    for (std::size_t e = 0; e < spec.entries.size(); ++e) {
+      // Distinct deterministic seed per cell.
+      const std::uint64_t cell_seed = spec.seed + 1000003ULL * e;
+      row.per_entry.push_back(
+          simulator.mttc(spec.entries[e], spec.target, spec.runs_per_cell, cell_seed));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace icsdiv::sim

@@ -1,0 +1,33 @@
+// Batch MTTC experiments (the machinery behind Table VI).
+//
+// Runs a grid of {named assignment} × {entry host} MTTC estimates against
+// one target, mirroring the paper's five-entry-point evaluation with 1 000
+// simulation runs per cell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/worm_sim.hpp"
+
+namespace icsdiv::sim {
+
+struct MttcGridSpec {
+  std::vector<std::pair<std::string, const core::Assignment*>> assignments;
+  std::vector<core::HostId> entries;
+  core::HostId target = 0;
+  std::size_t runs_per_cell = 1000;
+  std::uint64_t seed = 2020;
+  SimulationParams params;
+};
+
+struct MttcGridRow {
+  std::string assignment_name;
+  std::vector<MttcResult> per_entry;  ///< aligned with spec.entries
+};
+
+/// Executes the grid (cells run sequentially; each cell's runs use the
+/// simulator's internal parallelism).
+[[nodiscard]] std::vector<MttcGridRow> run_mttc_grid(const MttcGridSpec& spec);
+
+}  // namespace icsdiv::sim

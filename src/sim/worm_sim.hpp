@@ -1,0 +1,108 @@
+// Agent-based worm propagation simulator — the NetLogo substitute (§VII-C2).
+//
+// Discrete-tick SI dynamics on the diversified network: every tick, each
+// infected host attacks each of its uninfected neighbours once.  The
+// attacker picks which exploit to fire across the link:
+//
+//  * Sophisticated (the paper's default): reconnaissance first — always
+//    the channel with the highest success probability;
+//  * Uniform: "when multiple exploits are feasible, attackers evenly
+//    choose one to use" (the paper's BN assumption), including the chance
+//    to stay silent when `silent_probability` is set.
+//
+// Channels and probabilities come from bayes::PropagationModel; the
+// simulator's default similarity weight is per-*attempt* (an exploit that
+// targets a shared vulnerability usually works) while the baseline channel
+// stays the slow generic fallback, so mono-cultures fall in a few ticks
+// and diversified deployments hold out an order of magnitude longer —
+// Table VI's contrast.  Mean-Time-To-Compromise (MTTC) aggregates ticks
+// until the target falls over many runs (the paper uses 1 000).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bayes/propagation.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::sim {
+
+enum class AttackerStrategy { Sophisticated, Uniform };
+
+struct SimulationParams {
+  bayes::PropagationModel model{/*p_avg=*/0.04, /*similarity_weight=*/0.30,
+                                /*consider_similarity=*/true};
+  AttackerStrategy strategy = AttackerStrategy::Sophisticated;
+  /// Chance a Uniform attacker skips an attack opportunity this tick.
+  double silent_probability = 0.0;
+  /// Censoring horizon per run.
+  std::size_t max_ticks = 100'000;
+  /// Defender model (§IX's defensive-evaluation extension): each infected
+  /// host other than the attacker's entry foothold is detected per tick
+  /// with this probability and remediated — cleaned, patched and immune
+  /// for the rest of the run.  0 disables the defender (the paper's
+  /// setting).  With an active defender the worm can be eradicated before
+  /// reaching the target, so MTTC runs may censor at `max_ticks`.
+  double detection_probability = 0.0;
+};
+
+struct RunResult {
+  bool target_reached = false;
+  std::size_t ticks = 0;           ///< tick at which the target fell (or horizon)
+  std::size_t infected_count = 0;  ///< hosts infected when the run ended
+};
+
+struct MttcResult {
+  double mean = 0.0;
+  double std_dev = 0.0;
+  double ci95_half_width = 0.0;
+  std::size_t runs = 0;
+  std::size_t censored = 0;  ///< runs that hit max_ticks without compromise
+};
+
+class WormSimulator {
+ public:
+  /// Precomputes per-directed-link channel probabilities for `assignment`;
+  /// the assignment is only read during construction (a temporary is fine).
+  WormSimulator(const core::Assignment& assignment, SimulationParams params);
+
+  [[nodiscard]] const SimulationParams& params() const noexcept { return params_; }
+
+  /// One simulation run; deterministic given `rng`'s state.
+  [[nodiscard]] RunResult run_once(core::HostId entry, core::HostId target,
+                                   support::Rng& rng) const;
+
+  /// Infected-host counts per tick for one run (epidemic curve).
+  [[nodiscard]] std::vector<std::size_t> epidemic_curve(core::HostId entry,
+                                                        std::size_t ticks,
+                                                        support::Rng& rng) const;
+
+  /// MTTC over `runs` independent runs; runs execute on the global thread
+  /// pool when `parallel` (deterministic per-run seeding either way).
+  [[nodiscard]] MttcResult mttc(core::HostId entry, core::HostId target, std::size_t runs,
+                                std::uint64_t seed, bool parallel = true) const;
+
+ private:
+  struct DirectedLink {
+    core::HostId to;
+    std::vector<double> channel_probabilities;  ///< similarity channels
+    double best_probability;                    ///< max(channels, baseline)
+  };
+
+  struct TickState {
+    std::vector<bool> infected;
+    std::vector<bool> immune;   ///< remediated by the defender
+    std::vector<core::HostId> active;
+    core::HostId entry;
+  };
+
+  /// Advances one tick; returns true when the target was infected.
+  bool tick(TickState& state, core::HostId target, support::Rng& rng) const;
+
+  SimulationParams params_;
+  std::vector<std::vector<DirectedLink>> adjacency_;  ///< per source host
+  std::size_t host_count_ = 0;
+};
+
+}  // namespace icsdiv::sim

@@ -1,0 +1,117 @@
+#include "support/csv.hpp"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+namespace icsdiv::support {
+
+std::size_t CsvDocument::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw NotFound("CsvDocument: no column named '" + std::string(name) + "'");
+}
+
+CsvDocument parse_csv(std::string_view text, bool has_header) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;
+  std::size_t line = 1;
+
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_record = [&] {
+    if (!record_started && record.empty() && field.empty()) return;
+    end_field();
+    if (doc.header.empty() && has_header) {
+      doc.header = std::move(record);
+    } else {
+      const std::size_t expected = has_header ? doc.header.size()
+                                              : (doc.rows.empty() ? record.size() : doc.rows[0].size());
+      if (record.size() != expected) {
+        throw ParseError("CSV: ragged row", line, 1);
+      }
+      doc.rows.push_back(std::move(record));
+    }
+    record = {};
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+        if (c == '\n') ++line;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_started = true;
+        break;
+      case ',':
+        end_field();
+        record_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        ++line;
+        break;
+      default:
+        field.push_back(c);
+        record_started = true;
+    }
+  }
+  if (in_quotes) throw ParseError("CSV: unterminated quoted field", line, 1);
+  if (record_started || !field.empty() || !record.empty()) end_record();
+  return doc;
+}
+
+namespace {
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    const std::string& field = fields[i];
+    if (needs_quoting(field)) {
+      out_ << '"';
+      for (char c : field) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << field;
+    }
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::to_field(double v) {
+  std::array<char, 32> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  ensure(ec == std::errc(), "CsvWriter::to_field", "to_chars failed");
+  return std::string(buf.data(), ptr);
+}
+
+}  // namespace icsdiv::support

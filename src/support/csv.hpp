@@ -1,0 +1,60 @@
+// Small CSV reader/writer for experiment outputs.
+//
+// Gives downstream tooling a plottable/diffable format for regenerated
+// tables and lets users feed their own product/host inventories in from
+// spreadsheets.  RFC-4180-style quoting is supported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+/// One parsed CSV document: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+};
+
+/// Parses CSV text.  `has_header` controls whether the first record becomes
+/// `header` or a data row.  Ragged rows raise ParseError.
+[[nodiscard]] CsvDocument parse_csv(std::string_view text, bool has_header = true);
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one record; fields are quoted only when needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with std::to_string-like rules.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> record;
+    record.reserve(sizeof...(fields));
+    (record.push_back(to_field(fields)), ...);
+    write_row(record);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(double v);
+  static std::string to_field(std::size_t v) { return std::to_string(v); }
+  static std::string to_field(int v) { return std::to_string(v); }
+  static std::string to_field(long v) { return std::to_string(v); }
+  static std::string to_field(long long v) { return std::to_string(v); }
+  static std::string to_field(unsigned v) { return std::to_string(v); }
+
+  std::ostream& out_;
+};
+
+}  // namespace icsdiv::support

@@ -1,0 +1,24 @@
+#include "support/error.hpp"
+
+namespace icsdiv::detail {
+
+namespace {
+std::string compose(std::string_view function, std::string_view message) {
+  std::string out;
+  out.reserve(function.size() + message.size() + 2);
+  out.append(function);
+  out.append(": ");
+  out.append(message);
+  return out;
+}
+}  // namespace
+
+void throw_invalid_argument(std::string_view function, std::string_view message) {
+  throw InvalidArgument(compose(function, message));
+}
+
+void throw_logic_error(std::string_view function, std::string_view message) {
+  throw LogicError(compose(function, message));
+}
+
+}  // namespace icsdiv::detail

@@ -1,0 +1,78 @@
+// Error hierarchy and validation helpers for the icsdiv library.
+//
+// Per the project conventions (C++ Core Guidelines E.2/E.3), errors that a
+// caller can reasonably be expected to handle are reported with exceptions
+// derived from `icsdiv::Error`; programming mistakes (broken invariants,
+// out-of-contract arguments detected in debug paths) throw `LogicError`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace icsdiv {
+
+/// Root of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Input data (JSON feed, CSV, table) could not be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : Error(what + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+  explicit ParseError(const std::string& what) : Error(what), line_(0), column_(0) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// An internal invariant does not hold; indicates a bug in the library.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// A requested entity (product, host, service, file) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// A constraint set is unsatisfiable or an optimisation cannot proceed.
+class Infeasible : public Error {
+ public:
+  explicit Infeasible(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(std::string_view function, std::string_view message);
+[[noreturn]] void throw_logic_error(std::string_view function, std::string_view message);
+}  // namespace detail
+
+/// Precondition check: throws InvalidArgument mentioning `function` on failure.
+inline void require(bool condition, std::string_view function, std::string_view message) {
+  if (!condition) detail::throw_invalid_argument(function, message);
+}
+
+/// Invariant check: throws LogicError mentioning `function` on failure.
+inline void ensure(bool condition, std::string_view function, std::string_view message) {
+  if (!condition) detail::throw_logic_error(function, message);
+}
+
+}  // namespace icsdiv

@@ -1,0 +1,93 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+namespace {
+
+std::atomic<bool> g_level_initialised{false};
+std::atomic<LogLevel> g_level{LogLevel::Warning};
+std::mutex g_sink_mutex;
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warning: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("ICSDIV_LOG")) {
+    try {
+      return parse_log_level(env);
+    } catch (const Error&) {
+      // Ignore malformed environment; fall through to the default.
+    }
+  }
+  return LogLevel::Warning;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warning" || lower == "warn") return LogLevel::Warning;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off") return LogLevel::Off;
+  throw InvalidArgument("parse_log_level: unknown level '" + std::string(name) + "'");
+}
+
+LogLevel log_level() noexcept {
+  if (!g_level_initialised.load(std::memory_order_acquire)) {
+    // First use: derive from the environment exactly once.
+    static const LogLevel initial = [] {
+      const LogLevel level = initial_level();
+      g_level.store(level, std::memory_order_relaxed);
+      g_level_initialised.store(true, std::memory_order_release);
+      return level;
+    }();
+    (void)initial;
+  }
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level_initialised.store(true, std::memory_order_release);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (LogSink& sink = sink_storage()) {
+    sink(level, message);
+  } else {
+    std::cerr << "[icsdiv:" << level_name(level) << "] " << message << '\n';
+  }
+}
+
+}  // namespace icsdiv::support

@@ -1,0 +1,52 @@
+// Leveled logging with a process-wide sink.
+//
+// Long-running solves (Tables VII–IX) report per-iteration progress at
+// Debug level; library code logs sparingly at Info and above.  The default
+// level is Warning so tests and benches stay quiet unless asked
+// (ICSDIV_LOG=debug|info|warning|error).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace icsdiv::support {
+
+enum class LogLevel { Debug = 0, Info = 1, Warning = 2, Error = 3, Off = 4 };
+
+/// Returns the level parsed from a case-insensitive name; throws on unknown.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+/// Current minimum level; initialised from ICSDIV_LOG at first use.
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Replaces the sink (default writes to stderr).  The sink must be
+/// thread-safe or tolerate interleaving; the default serialises per call.
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+void set_log_sink(LogSink sink);
+
+/// Emits a message if `level` passes the filter.
+void log(LogLevel level, std::string_view message);
+
+/// Stream-style helper: LogLine(LogLevel::Info) << "solved in " << t << "s";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace icsdiv::support

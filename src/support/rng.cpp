@@ -1,0 +1,37 @@
+#include "support/rng.hpp"
+
+#include <unordered_set>
+
+namespace icsdiv::support {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  require(k <= n, "Rng::sample_without_replacement", "cannot sample more items than exist");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // For dense samples a partial Fisher–Yates is cheaper than Floyd rejection.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = index(j + 1);
+    if (!chosen.insert(t).second) {
+      chosen.insert(j);
+      t = j;
+    }
+    out.push_back(t);
+  }
+  shuffle(std::span<std::size_t>(out));
+  return out;
+}
+
+}  // namespace icsdiv::support

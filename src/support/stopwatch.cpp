@@ -1,0 +1,4 @@
+#include "support/stopwatch.hpp"
+
+// Header-only; this translation unit exists so the target always has at
+// least one object file per public header and header hygiene is compiled.

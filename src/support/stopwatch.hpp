@@ -1,0 +1,31 @@
+// Wall-clock timing used by the scalability benches (Tables VII–IX).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace icsdiv::support {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  [[nodiscard]] std::int64_t nanoseconds() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace icsdiv::support

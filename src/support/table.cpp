@@ -1,0 +1,81 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable", "header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "TextTable::add_row",
+          "row width must match header width");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::num(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return buf.data();
+}
+
+std::string TextTable::sim_cell(double similarity, std::size_t shared_count) {
+  return num(similarity, 3) + " (" + std::to_string(shared_count) + ")";
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto print_line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c];
+      out << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+  const auto print_rule = [&] {
+    out << '+';
+    for (std::size_t width : widths) out << std::string(width + 2, '-') << '+';
+    out << '\n';
+  };
+
+  print_rule();
+  print_line(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_line(row.cells);
+    }
+  }
+  print_rule();
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << render(); }
+
+void print_banner(std::ostream& out, const std::string& title) {
+  const std::string rule(std::max<std::size_t>(title.size() + 8, 72), '=');
+  out << '\n' << rule << '\n' << "==  " << title << '\n' << rule << '\n';
+}
+
+}  // namespace icsdiv::support

@@ -1,0 +1,50 @@
+// ASCII table rendering for the bench harness.
+//
+// Every bench regenerates a paper table/figure and prints it in a layout
+// mirroring the publication, so the output can be compared side-by-side
+// with the paper.  This helper aligns columns and renders separators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace icsdiv::support {
+
+/// Column-aligned text table.  Rows may be added with heterogeneous helper
+/// overloads; all formatting decisions (precision) happen at insertion.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Formats a double with fixed precision.
+  static std::string num(double value, int precision = 3);
+  /// Formats "0.278 (328)"-style similarity cells used by Tables II/III.
+  static std::string sim_cell(double similarity, std::size_t shared_count);
+
+  [[nodiscard]] std::string render() const;
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Prints a titled section banner around bench output so the combined
+/// bench log is navigable.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace icsdiv::support

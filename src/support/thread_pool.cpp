@@ -1,0 +1,82 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace icsdiv::support {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wakeup_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wakeup_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  // Chunked dynamic scheduling: workers pull the next index atomically.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t worker_count = std::min(size(), count);
+  std::vector<std::future<void>> futures;
+  futures.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    futures.push_back(submit([next, count, &body] {
+      for (std::size_t i = next->fetch_add(1); i < count; i = next->fetch_add(1)) {
+        body(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ICSDIV_THREADS")) {
+      const long requested = std::strtol(env, nullptr, 10);
+      if (requested > 0) return static_cast<std::size_t>(requested);
+    }
+    return static_cast<std::size_t>(0);
+  }());
+  return pool;
+}
+
+}  // namespace icsdiv::support

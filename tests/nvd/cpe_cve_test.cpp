@@ -1,0 +1,107 @@
+// CPE URIs and CVE records.
+#include <gtest/gtest.h>
+
+#include "nvd/cpe.hpp"
+#include "nvd/cve.hpp"
+
+namespace icsdiv::nvd {
+namespace {
+
+TEST(CpeUri, ParseFullUri) {
+  const CpeUri cpe = CpeUri::parse("cpe:/o:microsoft:windows_7:sp1:x64:pro:en");
+  EXPECT_EQ(cpe.part(), CpePart::Os);
+  EXPECT_EQ(cpe.vendor(), "microsoft");
+  EXPECT_EQ(cpe.product(), "windows_7");
+  EXPECT_EQ(cpe.version().value(), "sp1");
+  EXPECT_EQ(cpe.update().value(), "x64");
+  EXPECT_EQ(cpe.edition().value(), "pro");
+  EXPECT_EQ(cpe.language().value(), "en");
+}
+
+TEST(CpeUri, ParseMinimalUri) {
+  const CpeUri cpe = CpeUri::parse("cpe:/a:google:chrome");
+  EXPECT_EQ(cpe.part(), CpePart::Application);
+  EXPECT_FALSE(cpe.version().has_value());
+}
+
+TEST(CpeUri, DashAndEmptyMeanUnspecified) {
+  // The paper's Table I lists entries like cpe:/a:microsoft:edge:-
+  const CpeUri dash = CpeUri::parse("cpe:/a:microsoft:edge:-");
+  EXPECT_FALSE(dash.version().has_value());
+  const CpeUri empty = CpeUri::parse("cpe:/o:redhat:fedora::x");
+  EXPECT_FALSE(empty.version().has_value());
+  EXPECT_EQ(empty.update().value(), "x");
+}
+
+TEST(CpeUri, RoundTripToString) {
+  for (const char* text : {"cpe:/o:microsoft:windows_8.1", "cpe:/a:oracle:mysql:5.5",
+                           "cpe:/h:siemens:s7-300", "cpe:/o:microsoft:windows_xp::sp2"}) {
+    EXPECT_EQ(CpeUri::parse(text).to_string(), text);
+  }
+}
+
+TEST(CpeUri, ParseErrors) {
+  EXPECT_THROW(CpeUri::parse("cpe:2.3:a:x:y"), icsdiv::ParseError);
+  EXPECT_THROW(CpeUri::parse("cpe:/q:vendor:product"), icsdiv::InvalidArgument);
+  EXPECT_THROW(CpeUri::parse("cpe:/a"), icsdiv::ParseError);
+  EXPECT_THROW(CpeUri::parse("cpe:/a::product"), icsdiv::ParseError);
+  EXPECT_THROW(CpeUri::parse("cpe:/a:v:p:1:2:3:4:5"), icsdiv::ParseError);
+  EXPECT_THROW(CpeUri::parse("nonsense"), icsdiv::ParseError);
+}
+
+TEST(CpeUri, PrefixMatching) {
+  const CpeUri query = CpeUri::parse("cpe:/o:microsoft:windows_7");
+  EXPECT_TRUE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_7")));
+  EXPECT_TRUE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_7:sp1")));
+  EXPECT_FALSE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_8.1")));
+  EXPECT_FALSE(query.matches(CpeUri::parse("cpe:/a:microsoft:windows_7")));
+  EXPECT_FALSE(query.matches(CpeUri::parse("cpe:/o:canonical:windows_7")));
+}
+
+TEST(CpeUri, VersionedQueryRequiresVersion) {
+  const CpeUri query = CpeUri::parse("cpe:/o:microsoft:windows_xp::sp2");
+  EXPECT_TRUE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_xp:2002:sp2")));
+  EXPECT_FALSE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_xp")));
+  EXPECT_FALSE(query.matches(CpeUri::parse("cpe:/o:microsoft:windows_xp::sp3")));
+}
+
+TEST(CveId, Validation) {
+  EXPECT_TRUE(is_valid_cve_id("CVE-2016-7153"));
+  EXPECT_TRUE(is_valid_cve_id("CVE-1999-0001"));
+  EXPECT_TRUE(is_valid_cve_id("CVE-2021-123456"));
+  EXPECT_FALSE(is_valid_cve_id("CVE-16-7153"));
+  EXPECT_FALSE(is_valid_cve_id("cve-2016-7153"));
+  EXPECT_FALSE(is_valid_cve_id("CVE-2016-715"));
+  EXPECT_FALSE(is_valid_cve_id("CVE-2016_7153"));
+  EXPECT_FALSE(is_valid_cve_id(""));
+}
+
+TEST(CveId, YearExtraction) {
+  EXPECT_EQ(cve_year("CVE-2016-7153"), 2016);
+  EXPECT_EQ(cve_year("CVE-1999-0001"), 1999);
+  EXPECT_THROW((void)cve_year("CVE-bad"), icsdiv::InvalidArgument);
+}
+
+TEST(CveEntry, ValidationRules) {
+  CveEntry entry;
+  entry.id = "CVE-2016-7153";
+  entry.year = 2016;
+  entry.cvss = 6.8;
+  entry.affected.push_back(CpeUri::parse("cpe:/a:microsoft:edge"));
+  EXPECT_NO_THROW(entry.validate());
+
+  CveEntry wrong_year = entry;
+  wrong_year.year = 2015;
+  EXPECT_THROW(wrong_year.validate(), icsdiv::InvalidArgument);
+
+  CveEntry bad_cvss = entry;
+  bad_cvss.cvss = 11.0;
+  EXPECT_THROW(bad_cvss.validate(), icsdiv::InvalidArgument);
+
+  CveEntry no_products = entry;
+  no_products.affected.clear();
+  EXPECT_THROW(no_products.validate(), icsdiv::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace icsdiv::nvd

@@ -1,0 +1,69 @@
+// CVSS v2 vector parsing and base-score computation.
+#include "nvd/cvss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nvd/cve.hpp"
+
+namespace icsdiv::nvd {
+namespace {
+
+TEST(Cvss, KnownScores) {
+  // Reference values from the official CVSS v2 guide / NVD calculator.
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/A:C").base_score(), 10.0);
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:N/AC:L/Au:N/C:P/I:P/A:P").base_score(), 7.5);
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:N/AC:M/Au:N/C:P/I:P/A:N").base_score(), 5.8);
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:L/AC:L/Au:N/C:P/I:N/A:N").base_score(), 2.1);
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:N/AC:L/Au:N/C:N/I:N/A:N").base_score(), 0.0);
+  EXPECT_DOUBLE_EQ(CvssV2Vector::parse("AV:L/AC:H/Au:M/C:C/I:C/A:C").base_score(), 5.9);
+}
+
+TEST(Cvss, ParseRoundTrip) {
+  for (const char* text :
+       {"AV:N/AC:L/Au:N/C:P/I:P/A:P", "AV:L/AC:H/Au:M/C:N/I:C/A:P",
+        "AV:A/AC:M/Au:S/C:C/I:N/A:N"}) {
+    const CvssV2Vector vector = CvssV2Vector::parse(text);
+    EXPECT_EQ(vector.to_string(), text);
+    EXPECT_EQ(CvssV2Vector::parse(vector.to_string()), vector);
+  }
+}
+
+TEST(Cvss, OrderInsensitiveParsing) {
+  const auto a = CvssV2Vector::parse("AV:N/AC:L/Au:N/C:P/I:P/A:P");
+  const auto b = CvssV2Vector::parse("A:P/I:P/C:P/Au:N/AC:L/AV:N");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Cvss, ParseErrors) {
+  EXPECT_THROW(CvssV2Vector::parse(""), ParseError);
+  EXPECT_THROW(CvssV2Vector::parse("AV:N"), ParseError);  // missing metrics
+  EXPECT_THROW(CvssV2Vector::parse("AV:X/AC:L/Au:N/C:P/I:P/A:P"), ParseError);
+  EXPECT_THROW(CvssV2Vector::parse("AV:N/AC:L/Au:N/C:P/I:P/Q:P"), ParseError);
+  EXPECT_THROW(CvssV2Vector::parse("AV:NN/AC:L/Au:N/C:P/I:P/A:P"), ParseError);
+}
+
+TEST(Cvss, SeverityBuckets) {
+  EXPECT_EQ(severity_of(0.0), Severity::Low);
+  EXPECT_EQ(severity_of(3.9), Severity::Low);
+  EXPECT_EQ(severity_of(4.0), Severity::Medium);
+  EXPECT_EQ(severity_of(6.9), Severity::Medium);
+  EXPECT_EQ(severity_of(7.0), Severity::High);
+  EXPECT_EQ(severity_of(10.0), Severity::High);
+  EXPECT_THROW((void)severity_of(-1.0), InvalidArgument);
+  EXPECT_STREQ(to_string(Severity::High), "HIGH");
+}
+
+TEST(Cvss, EntryValidationChecksVectorConsistency) {
+  CveEntry entry;
+  entry.id = "CVE-2015-1234";
+  entry.year = 2015;
+  entry.cvss_vector = "AV:N/AC:L/Au:N/C:P/I:P/A:P";
+  entry.cvss = 7.5;
+  entry.affected.push_back(CpeUri::parse("cpe:/a:x:y"));
+  EXPECT_NO_THROW(entry.validate());
+  entry.cvss = 9.9;  // inconsistent with the vector
+  EXPECT_THROW(entry.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace icsdiv::nvd

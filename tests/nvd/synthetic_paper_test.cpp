@@ -1,0 +1,203 @@
+// Synthetic feed generation and the embedded paper tables — this suite is
+// the Table II/III verification: the full pipeline (spec → concrete CVE
+// corpus → CPE filtering → Jaccard) must land on the published values.
+#include <gtest/gtest.h>
+
+#include "nvd/paper_tables.hpp"
+#include "nvd/synthetic.hpp"
+
+namespace icsdiv::nvd {
+namespace {
+
+OverlapSpec tiny_spec() {
+  OverlapSpec spec;
+  spec.products = {{"a", CpeUri::parse("cpe:/o:v:a")},
+                   {"b", CpeUri::parse("cpe:/o:v:b")},
+                   {"c", CpeUri::parse("cpe:/o:v:c")}};
+  spec.totals = {10, 8, 5};
+  spec.blocks = {{{0, 1}, 4}, {{0, 1, 2}, 2}};
+  return spec;
+}
+
+TEST(OverlapSpec, ValidateAcceptsFeasible) { EXPECT_NO_THROW(tiny_spec().validate()); }
+
+TEST(OverlapSpec, ValidateRejectsOverAllocation) {
+  OverlapSpec spec = tiny_spec();
+  spec.blocks.push_back({{2, 1}, 1});  // not strictly increasing
+  EXPECT_THROW(spec.validate(), icsdiv::InvalidArgument);
+
+  spec = tiny_spec();
+  spec.blocks.push_back({{1, 2}, 10});  // c only has 5 total
+  EXPECT_THROW(spec.validate(), icsdiv::InvalidArgument);
+
+  spec = tiny_spec();
+  spec.blocks.push_back({{0}, 1});  // singleton block
+  EXPECT_THROW(spec.validate(), icsdiv::InvalidArgument);
+}
+
+TEST(OverlapSpec, ImpliedSharedMatrixCountsBlocks) {
+  const auto shared = tiny_spec().implied_shared_matrix();
+  // shared(a,b) = 4 + 2 (triple), shared(a,c) = shared(b,c) = 2.
+  EXPECT_EQ(shared[0 * 3 + 1], 6u);
+  EXPECT_EQ(shared[1 * 3 + 0], 6u);
+  EXPECT_EQ(shared[0 * 3 + 2], 2u);
+  EXPECT_EQ(shared[1 * 3 + 2], 2u);
+  EXPECT_EQ(shared[0 * 3 + 0], 10u);
+}
+
+TEST(SyntheticFeed, RealisesSpecExactly) {
+  const OverlapSpec spec = tiny_spec();
+  const VulnerabilityDatabase db = generate_feed(spec);
+  // Entry count: blocks (4 + 2) + uniques (10-6) + (8-6) + (5-2).
+  EXPECT_EQ(db.size(), 4u + 2u + 4u + 2u + 3u);
+
+  const SimilarityTable from_pipeline =
+      SimilarityTable::from_database(db, spec.products);
+  const SimilarityTable analytic = spec.implied_similarity_table();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(from_pipeline.total_count(i), analytic.total_count(i));
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(from_pipeline.shared_count(i, j), analytic.shared_count(i, j));
+      EXPECT_DOUBLE_EQ(from_pipeline.similarity(i, j), analytic.similarity(i, j));
+    }
+  }
+}
+
+TEST(SyntheticFeed, YearsWithinWindowAndDeterministic) {
+  SyntheticFeedOptions options;
+  options.year_from = 2005;
+  options.year_to = 2010;
+  options.seed = 3;
+  const VulnerabilityDatabase db = generate_feed(tiny_spec(), options);
+  for (const CveEntry& e : db.entries()) {
+    EXPECT_GE(e.year, 2005);
+    EXPECT_LE(e.year, 2010);
+    EXPECT_GE(e.cvss, 0.0);
+    EXPECT_LE(e.cvss, 10.0);
+  }
+  const VulnerabilityDatabase again = generate_feed(tiny_spec(), options);
+  ASSERT_EQ(again.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.entries()[i].id, again.entries()[i].id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table II (operating systems).
+
+TEST(PaperTables, OsSpecIsFeasible) { EXPECT_NO_THROW(os_table_spec().validate()); }
+
+TEST(PaperTables, OsTotalsMatchPaperDiagonal) {
+  const SimilarityTable& table = paper_os_similarity();
+  EXPECT_EQ(table.total_count("WinXP2"), 479u);
+  EXPECT_EQ(table.total_count("Win7"), 1028u);
+  EXPECT_EQ(table.total_count("Win8.1"), 572u);
+  EXPECT_EQ(table.total_count("Win10"), 453u);
+  EXPECT_EQ(table.total_count("Ubt14.04"), 612u);
+  EXPECT_EQ(table.total_count("Deb8.0"), 519u);
+  EXPECT_EQ(table.total_count("Mac10.5"), 424u);
+  EXPECT_EQ(table.total_count("Suse13.2"), 492u);
+  EXPECT_EQ(table.total_count("Fedora"), 367u);
+}
+
+TEST(PaperTables, OsSharedCountsMatchPaper) {
+  const SimilarityTable& table = paper_os_similarity();
+  EXPECT_EQ(table.shared_count("WinXP2", "Win7"), 328u);
+  EXPECT_EQ(table.shared_count("WinXP2", "Win8.1"), 10u);
+  EXPECT_EQ(table.shared_count("Win7", "Win8.1"), 298u);
+  EXPECT_EQ(table.shared_count("Win7", "Win10"), 164u);
+  EXPECT_EQ(table.shared_count("Win8.1", "Win10"), 421u);
+  EXPECT_EQ(table.shared_count("Win7", "Mac10.5"), 109u);
+  EXPECT_EQ(table.shared_count("Ubt14.04", "Deb8.0"), 195u);
+  EXPECT_EQ(table.shared_count("Ubt14.04", "Suse13.2"), 161u);
+  EXPECT_EQ(table.shared_count("Deb8.0", "Fedora"), 41u);
+  EXPECT_EQ(table.shared_count("Mac10.5", "Fedora"), 1u);
+  EXPECT_EQ(table.shared_count("WinXP2", "Win10"), 0u);
+  EXPECT_EQ(table.shared_count("WinXP2", "Ubt14.04"), 0u);
+}
+
+TEST(PaperTables, OsPipelineReproducesPublishedSimilarities) {
+  // Run the actual pipeline over a generated corpus and compare to the
+  // decimals printed in Table II (3 decimal places → tolerance 5e-4 plus
+  // the paper's own rounding).
+  const OverlapSpec spec = os_table_spec();
+  const VulnerabilityDatabase db = generate_feed(spec);
+  const SimilarityTable table = SimilarityTable::from_database(db, spec.products);
+  const PublishedTable& published = published_os_table();
+  const std::size_t n = published.products.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ours = table.similarity(published.products[i], published.products[j]);
+      const double paper = published.similarity[i * n + j];
+      EXPECT_NEAR(ours, paper, 0.0015)
+          << published.products[i] << " vs " << published.products[j];
+    }
+  }
+}
+
+TEST(PaperTables, Windows10SharesNothingWithXp) {
+  // The paper highlights this pair as the motivation for upgrading.
+  EXPECT_DOUBLE_EQ(paper_os_similarity().similarity("WinXP2", "Win10"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Table III (web browsers).
+
+TEST(PaperTables, BrowserSpecIsFeasible) { EXPECT_NO_THROW(browser_table_spec().validate()); }
+
+TEST(PaperTables, BrowserSharedCountsMatchPaper) {
+  const SimilarityTable& table = paper_browser_similarity();
+  EXPECT_EQ(table.shared_count("IE8", "IE10"), 240u);
+  EXPECT_EQ(table.shared_count("IE10", "Edge"), 73u);
+  EXPECT_EQ(table.shared_count("Firefox", "SeaMonkey"), 683u);
+  EXPECT_EQ(table.shared_count("Chrome", "Safari"), 21u);
+  EXPECT_EQ(table.shared_count("IE8", "Chrome"), 0u);
+  EXPECT_EQ(table.total_count("Chrome"), 1661u);
+  EXPECT_EQ(table.total_count("Firefox"), 1502u);
+}
+
+TEST(PaperTables, BrowserPipelineReproducesPublishedSimilarities) {
+  const OverlapSpec spec = browser_table_spec();
+  const VulnerabilityDatabase db = generate_feed(spec);
+  const SimilarityTable table = SimilarityTable::from_database(db, spec.products);
+  const PublishedTable& published = published_browser_table();
+  const std::size_t n = published.products.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ours = table.similarity(published.products[i], published.products[j]);
+      const double paper = published.similarity[i * n + j];
+      // IE10/Edge is internally inconsistent in the paper (0.121 printed,
+      // 0.115 implied by its own counts); allow that slack.
+      EXPECT_NEAR(ours, paper, 0.007)
+          << published.products[i] << " vs " << published.products[j];
+    }
+  }
+}
+
+TEST(PaperTables, SeaMonkeyFirefoxJaccardConsistent) {
+  // The corrected SeaMonkey total must reproduce the published 0.450.
+  EXPECT_NEAR(paper_browser_similarity().similarity("Firefox", "SeaMonkey"), 0.450, 0.001);
+}
+
+// ---------------------------------------------------------------------------
+// Database servers (synthetic table).
+
+TEST(PaperTables, DatabaseSpecFollowsVendorLineage) {
+  EXPECT_NO_THROW(database_table_spec().validate());
+  const SimilarityTable& table = paper_database_similarity();
+  EXPECT_GT(table.similarity("MSSQL08", "MSSQL14"), 0.1);
+  EXPECT_GT(table.similarity("MySQL5.5", "MariaDB10"), 0.25);
+  EXPECT_DOUBLE_EQ(table.similarity("MSSQL08", "MySQL5.5"), 0.0);
+  EXPECT_DOUBLE_EQ(table.similarity("MSSQL14", "MariaDB10"), 0.0);
+}
+
+TEST(PaperTables, FullOsFeedIsLarge) {
+  // The OS corpus alone holds thousands of entries — the pipeline must
+  // stay fast on realistic volumes (this also exercises CPE indexing).
+  const VulnerabilityDatabase db = generate_feed(os_table_spec());
+  EXPECT_GT(db.size(), 3000u);
+  EXPECT_LT(db.size(), 6000u);
+}
+
+}  // namespace
+}  // namespace icsdiv::nvd

@@ -1,0 +1,77 @@
+// CSV reader/writer.
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace icsdiv::support {
+namespace {
+
+TEST(CsvParse, SimpleDocument) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+  EXPECT_EQ(doc.column_index("b"), 1u);
+  EXPECT_THROW((void)doc.column_index("nope"), NotFound);
+}
+
+TEST(CsvParse, QuotedFields) {
+  const auto doc = parse_csv("name,note\n\"Doe, Jane\",\"said \"\"hi\"\"\"\n");
+  EXPECT_EQ(doc.rows[0][0], "Doe, Jane");
+  EXPECT_EQ(doc.rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvParse, EmbeddedNewlineInQuotes) {
+  const auto doc = parse_csv("a,b\n\"line1\nline2\",x\n");
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, CrLfTolerated) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n");
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto doc = parse_csv("a,b\n1,2");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvParse, NoHeaderMode) {
+  const auto doc = parse_csv("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), ParseError);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), ParseError);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, RoundTripThroughParser) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.row("x,y", 3);
+  writer.row(2.5, std::string("z"));
+  const auto doc = parse_csv(out.str());
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[0][1], "3");
+  EXPECT_EQ(doc.rows[1][0], "2.5");
+}
+
+}  // namespace
+}  // namespace icsdiv::support

@@ -1,0 +1,77 @@
+// Error helpers and the stopwatch.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv {
+namespace {
+
+TEST(ErrorHelpers, RequireThrowsWithContext) {
+  EXPECT_NO_THROW(require(true, "fn", "never"));
+  try {
+    require(false, "Widget::frob", "gears must mesh");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("Widget::frob"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("gears must mesh"), std::string::npos);
+  }
+}
+
+TEST(ErrorHelpers, EnsureThrowsLogicError) {
+  EXPECT_NO_THROW(ensure(true, "fn", "never"));
+  EXPECT_THROW(ensure(false, "fn", "invariant"), LogicError);
+}
+
+TEST(ErrorHelpers, HierarchyCatchableAsError) {
+  // Every library exception funnels into icsdiv::Error for callers that
+  // want one catch site.
+  const auto thrown_as_error = [](auto&& thrower) {
+    try {
+      thrower();
+    } catch (const Error&) {
+      return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(thrown_as_error([] { throw InvalidArgument("x"); }));
+  EXPECT_TRUE(thrown_as_error([] { throw ParseError("x", 1, 2); }));
+  EXPECT_TRUE(thrown_as_error([] { throw NotFound("x"); }));
+  EXPECT_TRUE(thrown_as_error([] { throw Infeasible("x"); }));
+  EXPECT_TRUE(thrown_as_error([] { throw LogicError("x"); }));
+}
+
+TEST(ErrorHelpers, ParseErrorCarriesPosition) {
+  const ParseError error("bad token", 7, 42);
+  EXPECT_EQ(error.line(), 7u);
+  EXPECT_EQ(error.column(), 42u);
+  EXPECT_NE(std::string(error.what()).find("line 7"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  support::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double first = watch.seconds();
+  EXPECT_GE(first, 0.015);
+  EXPECT_LT(first, 5.0);
+  EXPECT_GE(watch.milliseconds(), first * 1000.0 * 0.9);
+  EXPECT_GT(watch.nanoseconds(), 0);
+
+  watch.restart();
+  EXPECT_LT(watch.seconds(), first);
+}
+
+TEST(Stopwatch, Monotone) {
+  support::Stopwatch watch;
+  double previous = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.seconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+}  // namespace
+}  // namespace icsdiv

@@ -1,0 +1,100 @@
+// TextTable rendering and the logging facility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/table.hpp"
+
+namespace icsdiv::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "2.5"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2.5   |"), std::string::npos);
+  // Rule lines frame header and body.
+  EXPECT_GE(std::count(out.begin(), out.end(), '+'), 9);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(0.8145678, 5), "0.81457");
+  EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::num(-3.151, 3), "-3.151");
+}
+
+TEST(TextTable, SimCellFormat) {
+  EXPECT_EQ(TextTable::sim_cell(0.278, 328), "0.278 (328)");
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  // One column → 2 '+' per rule; rules: top, after header, separator, bottom.
+  const std::string out = table.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '+'), 8);
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_THROW((void)parse_log_level("verbose"), InvalidArgument);
+}
+
+class LoggingSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string(message));
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::Warning);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingSinkTest, FiltersBelowLevel) {
+  set_log_level(LogLevel::Warning);
+  log(LogLevel::Debug, "hidden");
+  log(LogLevel::Warning, "shown");
+  log(LogLevel::Error, "also shown");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "shown");
+  EXPECT_EQ(captured_[1].first, LogLevel::Error);
+}
+
+TEST_F(LoggingSinkTest, StreamHelperComposesMessage) {
+  set_log_level(LogLevel::Info);
+  { LogLine(LogLevel::Info) << "solved in " << 42 << "ms"; }
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "solved in 42ms");
+}
+
+TEST_F(LoggingSinkTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  log(LogLevel::Error, "nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace icsdiv::support

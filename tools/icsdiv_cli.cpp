@@ -1,0 +1,208 @@
+// icsdiv command-line front end.
+//
+// Lets an operator run the paper's workflow on JSON artefacts without
+// writing C++ (see examples/nvd_pipeline for producing them):
+//
+//   icsdiv_cli optimize  --catalog c.json --network n.json [--out a.json]
+//                        [--solver trws|bp|icm|multilevel]
+//   icsdiv_cli evaluate  --catalog c.json --network n.json --assignment a.json
+//                        [--entry HOST --target HOST]
+//   icsdiv_cli report    --catalog c.json --network n.json --assignment a.json
+//   icsdiv_cli similarity --feed feed.json --cpe QUERY --cpe QUERY [...]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bayes/least_effort.hpp"
+#include "bayes/metric.hpp"
+#include "core/metrics.hpp"
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "core/serialization.hpp"
+#include "nvd/similarity.hpp"
+#include "sim/worm_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace icsdiv;
+
+struct Arguments {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> repeated_cpes;
+};
+
+Arguments parse_arguments(int argc, char** argv) {
+  Arguments args;
+  if (argc < 2) throw InvalidArgument("missing command");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) throw InvalidArgument("expected --flag, got: " + flag);
+    if (i + 1 >= argc) throw InvalidArgument("flag needs a value: " + flag);
+    const std::string value = argv[++i];
+    if (flag == "--cpe") {
+      args.repeated_cpes.push_back(value);
+    } else {
+      args.options[flag.substr(2)] = value;
+    }
+  }
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw NotFound("cannot open file: " + path);
+  return std::string(std::istreambuf_iterator<char>(file), {});
+}
+
+const std::string& required(const Arguments& args, const std::string& name) {
+  const auto it = args.options.find(name);
+  if (it == args.options.end()) throw InvalidArgument("missing required --" + name);
+  return it->second;
+}
+
+core::SolverKind solver_from_name(const std::string& name) {
+  if (name == "trws") return core::SolverKind::Trws;
+  if (name == "bp") return core::SolverKind::Bp;
+  if (name == "icm") return core::SolverKind::Icm;
+  if (name == "multilevel") return core::SolverKind::MultilevelTrws;
+  throw InvalidArgument("unknown solver: " + name);
+}
+
+int run_optimize(const Arguments& args) {
+  const core::ProductCatalog catalog =
+      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
+  const core::Network network =
+      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
+
+  core::OptimizeOptions options;
+  if (const auto it = args.options.find("solver"); it != args.options.end()) {
+    options.solver = solver_from_name(it->second);
+  }
+  const core::Optimizer optimizer(network);
+  const auto outcome = optimizer.optimize({}, options);
+
+  std::cerr << "energy " << outcome.solve.energy << ", pairwise similarity "
+            << outcome.pairwise_similarity << ", " << outcome.solve.iterations
+            << " iterations\n";
+  const support::Json json = outcome.assignment.to_json();
+  if (const auto it = args.options.find("out"); it != args.options.end()) {
+    std::ofstream file(it->second);
+    file << json.dump_pretty();
+    std::cerr << "wrote " << it->second << "\n";
+  } else {
+    std::cout << json.dump_pretty();
+  }
+  return 0;
+}
+
+int run_evaluate(const Arguments& args) {
+  const core::ProductCatalog catalog =
+      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
+  const core::Network network =
+      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
+  const core::Assignment assignment = core::Assignment::from_json(
+      network, support::Json::parse(read_file(required(args, "assignment"))));
+
+  support::TextTable table({"metric", "value"});
+  table.add_row({"edge similarity (Eq.3)",
+                 support::TextTable::num(core::total_edge_similarity(assignment), 3)});
+  table.add_row({"avg per link-service",
+                 support::TextTable::num(core::average_edge_similarity(assignment), 3)});
+  table.add_row({"normalised effective richness",
+                 support::TextTable::num(core::normalized_effective_richness(assignment), 3)});
+
+  const auto entry_it = args.options.find("entry");
+  const auto target_it = args.options.find("target");
+  if (entry_it != args.options.end() && target_it != args.options.end()) {
+    const core::HostId entry = network.host_id(entry_it->second);
+    const core::HostId target = network.host_id(target_it->second);
+    const auto metric = bayes::bn_diversity_metric(assignment, entry, target);
+    table.add_row({"d_bn (Def. 6)", support::TextTable::num(metric.d_bn, 5)});
+    table.add_row({"log10 P(target)", support::TextTable::num(metric.log10_with(), 3)});
+    const auto effort = bayes::least_attack_effort(assignment, entry, target);
+    table.add_row({"least attack effort (exploits)",
+                   effort.exploit_count ? std::to_string(*effort.exploit_count) : "unreachable"});
+    const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
+    const auto mttc = simulator.mttc(entry, target, 500, 1);
+    table.add_row({"MTTC (ticks, 500 runs)", support::TextTable::num(mttc.mean, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int run_report(const Arguments& args) {
+  const core::ProductCatalog catalog =
+      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
+  const core::Network network =
+      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
+  const core::Assignment assignment = core::Assignment::from_json(
+      network, support::Json::parse(read_file(required(args, "assignment"))));
+  core::ReportOptions options;
+  options.include_full_listing = true;
+  std::cout << core::diversification_report(assignment, {}, options);
+  return 0;
+}
+
+int run_similarity(const Arguments& args) {
+  if (args.repeated_cpes.size() < 2) {
+    throw InvalidArgument("similarity needs at least two --cpe queries");
+  }
+  const nvd::VulnerabilityDatabase feed =
+      nvd::VulnerabilityDatabase::from_json_text(read_file(required(args, "feed")));
+  std::vector<nvd::ProductRef> products;
+  for (const std::string& cpe : args.repeated_cpes) {
+    products.push_back(nvd::ProductRef{cpe, nvd::CpeUri::parse(cpe)});
+  }
+  const nvd::SimilarityTable table = nvd::SimilarityTable::from_database(feed, products);
+  support::TextTable out({"a", "b", "similarity", "shared", "|Va|", "|Vb|"});
+  for (std::size_t i = 0; i < products.size(); ++i) {
+    for (std::size_t j = i + 1; j < products.size(); ++j) {
+      out.add_row({products[i].name, products[j].name,
+                   support::TextTable::num(table.similarity(i, j), 4),
+                   std::to_string(table.shared_count(i, j)),
+                   std::to_string(table.total_count(i)),
+                   std::to_string(table.total_count(j))});
+    }
+  }
+  out.print(std::cout);
+  return 0;
+}
+
+void print_usage() {
+  std::cerr <<
+      R"(usage: icsdiv_cli <command> [flags]
+
+commands:
+  optimize    --catalog FILE --network FILE [--out FILE] [--solver trws|bp|icm|multilevel]
+  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
+  report      --catalog FILE --network FILE --assignment FILE
+  similarity  --feed FILE --cpe QUERY --cpe QUERY [--cpe QUERY ...]
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Arguments args = parse_arguments(argc, argv);
+    if (args.command == "optimize") return run_optimize(args);
+    if (args.command == "evaluate") return run_evaluate(args);
+    if (args.command == "report") return run_report(args);
+    if (args.command == "similarity") return run_similarity(args);
+    throw InvalidArgument("unknown command: " + args.command);
+  } catch (const InvalidArgument& error) {
+    std::cerr << "error: " << error.what() << "\n\n";
+    print_usage();
+    return 1;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}

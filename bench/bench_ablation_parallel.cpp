@@ -29,9 +29,10 @@ int main() {
             << "\n\n";
 
   TextTable table({"configuration", "energy", "seconds"});
-  const auto run = [&](const char* name, core::SolverKind kind, bool decompose, bool parallel) {
+  const auto run = [&](const char* name, const std::string& solver, bool decompose,
+                       bool parallel) {
     core::OptimizeOptions options;
-    options.solver = kind;
+    options.solver = solver;
     options.decompose = decompose;
     options.parallel = parallel;
     options.solve.max_iterations = 50;
@@ -42,10 +43,10 @@ int main() {
                    TextTable::num(watch.seconds(), 3)});
   };
 
-  run("monolithic TRW-S", core::SolverKind::Trws, /*decompose=*/false, /*parallel=*/false);
-  run("decomposed TRW-S, serial", core::SolverKind::Trws, true, false);
-  run("decomposed TRW-S, parallel", core::SolverKind::Trws, true, true);
-  run("decomposed multilevel TRW-S", core::SolverKind::MultilevelTrws, true, true);
+  run("monolithic TRW-S", "trws", /*decompose=*/false, /*parallel=*/false);
+  run("decomposed TRW-S, serial", "trws", true, false);
+  run("decomposed TRW-S, parallel", "trws", true, true);
+  run("decomposed multilevel TRW-S", "multilevel", true, true);
   table.print(std::cout);
   std::cout << "\nThe decomposition is exact (identical energies): without intra-host\n"
                "constraints Eq. 1 splits into one independent MRF per service, so\n"

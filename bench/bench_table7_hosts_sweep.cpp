@@ -4,33 +4,18 @@
 //   high-density: degree 40, 25 services per host
 // Default grid stops at 1000 hosts so the bench suite stays quick on one
 // core; ICSDIV_BENCH_FULL=1 runs the paper's full grid up to 6000 hosts.
+//
+// The sweep is a runner::BatchRunner batch on one worker thread (each cell
+// gets the machine to itself, so the decomposed solve may parallelise and
+// per-cell wall-clock stays an honest measurement).
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/optimizer.hpp"
-#include "support/stopwatch.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/table.hpp"
 
-namespace {
-
-using namespace icsdiv;
-
-double time_optimize(const bench::ScalabilityParams& params) {
-  const bench::ScalabilityInstance instance = bench::make_scalability_instance(params);
-  const core::Optimizer optimizer(*instance.network);
-  core::OptimizeOptions options;
-  options.solve.max_iterations = 50;
-  options.solve.tolerance = 1e-6;
-  support::Stopwatch watch;
-  const auto outcome = optimizer.optimize({}, options);
-  const double seconds = watch.seconds();
-  ensure(outcome.assignment.complete(), "bench_table7", "incomplete assignment");
-  return seconds;
-}
-
-}  // namespace
-
 int main() {
+  using namespace icsdiv;
   using support::TextTable;
   support::print_banner(std::cout,
                         "Table VII — computational time (s) vs number of hosts");
@@ -52,21 +37,35 @@ int main() {
        {0.640, 1.766, 3.553, 5.881, 8.135, 10.999, 27.484, 82.500, 151.110}},
   };
 
+  std::vector<runner::ScenarioSpec> specs;
+  for (const Setting& setting : settings) {
+    for (std::size_t hosts : grid) {
+      runner::ScenarioSpec spec;
+      spec.workload.hosts = hosts;
+      spec.workload.average_degree = setting.degree;
+      spec.workload.services = setting.services;
+      spec.seed = 42 + hosts;
+      spec.solve.max_iterations = 50;
+      spec.solve.tolerance = 1e-6;
+      spec.name = spec.derive_name();
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const runner::BatchReport report = bench::run_timing_sweep(specs);
+
   std::vector<std::string> header{"setting", "series"};
   for (std::size_t hosts : grid) header.push_back(std::to_string(hosts));
   TextTable table(header);
+  std::size_t cell = 0;
   for (const Setting& setting : settings) {
     std::vector<std::string> ours{setting.name, "ours (s)"};
     std::vector<std::string> paper{"", "paper (s)"};
-    for (std::size_t g = 0; g < grid.size(); ++g) {
-      bench::ScalabilityParams params;
-      params.hosts = grid[g];
-      params.average_degree = setting.degree;
-      params.services = setting.services;
-      params.seed = 42 + grid[g];
-      ours.push_back(TextTable::num(time_optimize(params), 3));
+    for (std::size_t g = 0; g < grid.size(); ++g, ++cell) {
+      const runner::ScenarioResult& result = report.results[cell];
+      ensure(result.error.empty(), "bench_table7", "scenario failed: " + result.error);
+      ours.push_back(TextTable::num(result.solve_seconds, 3));
       paper.push_back(TextTable::num(setting.paper[g], 3));
-      std::cout << "." << std::flush;
     }
     table.add_row(std::move(ours));
     table.add_row(std::move(paper));

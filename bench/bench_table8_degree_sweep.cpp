@@ -2,11 +2,11 @@
 // at the paper's two scales:
 //   mid-scale : 1000 hosts, 15 services
 //   large-scale: 6000 hosts, 25 services  (ICSDIV_BENCH_FULL=1 only)
+// Runs as a one-worker runner::BatchRunner batch (see bench_table7).
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/optimizer.hpp"
-#include "support/stopwatch.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -32,28 +32,35 @@ int main() {
                          167.190, 189.710}});
   }
 
+  std::vector<runner::ScenarioSpec> specs;
+  for (const Setting& setting : settings) {
+    for (double degree : degrees) {
+      runner::ScenarioSpec spec;
+      spec.workload.hosts = setting.hosts;
+      spec.workload.average_degree = degree;
+      spec.workload.services = setting.services;
+      spec.seed = 1000 + static_cast<std::uint64_t>(degree);
+      spec.solve.max_iterations = 50;
+      spec.solve.tolerance = 1e-6;
+      spec.name = spec.derive_name();
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const runner::BatchReport report = bench::run_timing_sweep(specs);
+
   std::vector<std::string> header{"setting", "series"};
   for (double degree : degrees) header.push_back(TextTable::num(degree, 0));
   TextTable table(header);
+  std::size_t cell = 0;
   for (const Setting& setting : settings) {
     std::vector<std::string> ours{setting.name, "ours (s)"};
     std::vector<std::string> paper{"", "paper (s)"};
-    for (std::size_t g = 0; g < degrees.size(); ++g) {
-      bench::ScalabilityParams params;
-      params.hosts = setting.hosts;
-      params.average_degree = degrees[g];
-      params.services = setting.services;
-      params.seed = 1000 + static_cast<std::uint64_t>(degrees[g]);
-      const bench::ScalabilityInstance instance = bench::make_scalability_instance(params);
-      const core::Optimizer optimizer(*instance.network);
-      core::OptimizeOptions options;
-      options.solve.max_iterations = 50;
-      options.solve.tolerance = 1e-6;
-      support::Stopwatch watch;
-      (void)optimizer.optimize({}, options);
-      ours.push_back(TextTable::num(watch.seconds(), 3));
+    for (std::size_t g = 0; g < degrees.size(); ++g, ++cell) {
+      const runner::ScenarioResult& result = report.results[cell];
+      ensure(result.error.empty(), "bench_table8", "scenario failed: " + result.error);
+      ours.push_back(TextTable::num(result.solve_seconds, 3));
       paper.push_back(TextTable::num(setting.paper[g], 3));
-      std::cout << "." << std::flush;
     }
     table.add_row(std::move(ours));
     table.add_row(std::move(paper));

@@ -1,11 +1,11 @@
 // E9 — regenerates Table IX: optimisation wall-clock vs services per host:
 //   mid-scale : 1000 hosts, degree 20 (~20 000 links as in the paper)
 //   large-scale: 6000 hosts, degree 40 (~240 000 links; ICSDIV_BENCH_FULL=1)
+// Runs as a one-worker runner::BatchRunner batch (see bench_table7).
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/optimizer.hpp"
-#include "support/stopwatch.hpp"
+#include "runner/batch_runner.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -30,30 +30,37 @@ int main() {
                         {10.306, 27.214, 51.587, 90.407, 134.340, 188.050}});
   }
 
+  std::vector<runner::ScenarioSpec> specs;
+  for (const Setting& setting : settings) {
+    for (std::size_t count : service_counts) {
+      runner::ScenarioSpec spec;
+      spec.workload.hosts = setting.hosts;
+      spec.workload.average_degree = setting.degree;
+      spec.workload.services = count;
+      spec.seed = 9000 + count;
+      spec.solve.max_iterations = 50;
+      spec.solve.tolerance = 1e-6;
+      spec.name = spec.derive_name();
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const runner::BatchReport report = bench::run_timing_sweep(specs);
+
   std::vector<std::string> header{"setting", "series"};
   for (std::size_t count : service_counts) header.push_back(std::to_string(count));
   TextTable table(header);
+  std::size_t cell = 0;
   std::size_t measured_links = 0;
   for (const Setting& setting : settings) {
     std::vector<std::string> ours{setting.name, "ours (s)"};
     std::vector<std::string> paper{"", "paper (s)"};
-    for (std::size_t g = 0; g < service_counts.size(); ++g) {
-      bench::ScalabilityParams params;
-      params.hosts = setting.hosts;
-      params.average_degree = setting.degree;
-      params.services = service_counts[g];
-      params.seed = 9000 + service_counts[g];
-      const bench::ScalabilityInstance instance = bench::make_scalability_instance(params);
-      measured_links = instance.network->topology().edge_count();
-      const core::Optimizer optimizer(*instance.network);
-      core::OptimizeOptions options;
-      options.solve.max_iterations = 50;
-      options.solve.tolerance = 1e-6;
-      support::Stopwatch watch;
-      (void)optimizer.optimize({}, options);
-      ours.push_back(TextTable::num(watch.seconds(), 3));
+    for (std::size_t g = 0; g < service_counts.size(); ++g, ++cell) {
+      const runner::ScenarioResult& result = report.results[cell];
+      ensure(result.error.empty(), "bench_table9", "scenario failed: " + result.error);
+      measured_links = result.links;
+      ours.push_back(TextTable::num(result.solve_seconds, 3));
       paper.push_back(TextTable::num(setting.paper[g], 3));
-      std::cout << "." << std::flush;
     }
     table.add_row(std::move(ours));
     table.add_row(std::move(paper));

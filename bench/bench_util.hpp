@@ -1,39 +1,36 @@
-// Shared helpers for the bench harness: the §VIII random-network workload
-// generator and small formatting utilities.
+// Shared helpers for the bench harness.  The §VIII random-network workload
+// generator moved into the library proper (runner/workload.hpp) so the
+// batch engine and the CLI share it; the aliases below keep the bench
+// sources on their historical names.
 #pragma once
 
 #include <cstdlib>
-#include <memory>
-#include <string>
+#include <iostream>
 
-#include "core/network.hpp"
-#include "support/rng.hpp"
+#include "runner/batch_runner.hpp"
+#include "runner/workload.hpp"
 
 namespace icsdiv::bench {
 
-/// Owns the catalog + network of one §VIII scalability instance (the
-/// network keeps a pointer into the catalog, so both live together).
-struct ScalabilityInstance {
-  std::unique_ptr<core::ProductCatalog> catalog;
-  std::unique_ptr<core::Network> network;
-};
+using ScalabilityParams = runner::WorkloadParams;
+using ScalabilityInstance = runner::WorkloadInstance;
 
-struct ScalabilityParams {
-  std::size_t hosts = 1000;
-  double average_degree = 20.0;
-  std::size_t services = 15;
-  std::size_t products_per_service = 5;
-  /// Random Jaccard-style similarities: a fraction of product pairs share
-  /// vulnerabilities, with similarity drawn uniformly below this cap.
-  double similar_pair_fraction = 0.5;
-  double max_similarity = 0.6;
-  std::uint64_t seed = 2020;
-};
+[[nodiscard]] inline ScalabilityInstance make_scalability_instance(
+    const ScalabilityParams& params) {
+  return runner::make_workload(params);
+}
 
-/// Builds the paper's scalability workload: a connected random network of
-/// `hosts` nodes at the target average degree where every host runs all
-/// `services`, each with the same `products_per_service` candidates.
-[[nodiscard]] ScalabilityInstance make_scalability_instance(const ScalabilityParams& params);
+/// Shared harness for the Table VII–IX timing sweeps: one worker (cells
+/// run sequentially so per-cell wall-clock is an honest measurement while
+/// each cell may still parallelise its decomposed solve), progress dots
+/// on stdout.
+[[nodiscard]] inline runner::BatchReport run_timing_sweep(
+    const std::vector<runner::ScenarioSpec>& specs) {
+  runner::BatchOptions options;
+  options.threads = 1;
+  options.on_result = [](const runner::ScenarioResult&) { std::cout << "." << std::flush; };
+  return runner::BatchRunner(options).run(specs);
+}
 
 /// True when the environment requests the paper's full parameter grid
 /// (ICSDIV_BENCH_FULL=1); the default grid is reduced to keep the whole

@@ -1,42 +1,13 @@
 #include "core/optimizer.hpp"
 
 #include "core/metrics.hpp"
-#include "mrf/bp.hpp"
 #include "mrf/decompose.hpp"
-#include "mrf/icm.hpp"
-#include "mrf/multilevel.hpp"
-#include "mrf/trws.hpp"
+#include "mrf/registry.hpp"
 
 namespace icsdiv::core {
 
-namespace {
-
-/// Owns a TRW-S instance for the multilevel wrapper's lifetime.
-class MultilevelTrwsSolver final : public mrf::Solver {
- public:
-  MultilevelTrwsSolver() : multilevel_(base_) {}
-
-  [[nodiscard]] std::string name() const override { return multilevel_.name(); }
-  [[nodiscard]] mrf::SolveResult solve(const mrf::Mrf& mrf,
-                                       const mrf::SolveOptions& options) const override {
-    return multilevel_.solve(mrf, options);
-  }
-
- private:
-  mrf::TrwsSolver base_;
-  mrf::MultilevelSolver multilevel_;
-};
-
-}  // namespace
-
-std::unique_ptr<mrf::Solver> make_solver(SolverKind kind) {
-  switch (kind) {
-    case SolverKind::Trws: return std::make_unique<mrf::TrwsSolver>();
-    case SolverKind::Bp: return std::make_unique<mrf::BpSolver>();
-    case SolverKind::Icm: return std::make_unique<mrf::IcmSolver>();
-    case SolverKind::MultilevelTrws: return std::make_unique<MultilevelTrwsSolver>();
-  }
-  throw InvalidArgument("make_solver: unknown solver kind");
+std::unique_ptr<mrf::Solver> make_solver(const std::string& name) {
+  return mrf::SolverRegistry::instance().create(name);
 }
 
 OptimizeOutcome Optimizer::optimize(const ConstraintSet& constraints,

@@ -6,21 +6,17 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/problem.hpp"
 #include "mrf/solver.hpp"
 
 namespace icsdiv::core {
 
-enum class SolverKind {
-  Trws,            ///< sequential tree-reweighted message passing (paper)
-  Bp,              ///< loopy max-product belief propagation (baseline)
-  Icm,             ///< iterated conditional modes (baseline)
-  MultilevelTrws,  ///< coarsen–solve–refine around TRW-S (§V-C extension)
-};
-
 struct OptimizeOptions {
-  SolverKind solver = SolverKind::Trws;
+  /// Solver name resolved through mrf::SolverRegistry ("trws" is the
+  /// paper's choice; "bp", "icm", "multilevel" and "exhaustive" ship too).
+  std::string solver = "trws";
   mrf::SolveOptions solve;
   ProblemOptions problem;
   /// Solve independent MRF components separately (exact; mandatory for the
@@ -54,7 +50,8 @@ class Optimizer {
   const Network* network_;
 };
 
-/// Builds the solver implementation for a kind (shared with benches).
-[[nodiscard]] std::unique_ptr<mrf::Solver> make_solver(SolverKind kind);
+/// Builds a solver by registry name (thin alias for
+/// mrf::SolverRegistry::instance().create, shared with benches).
+[[nodiscard]] std::unique_ptr<mrf::Solver> make_solver(const std::string& name);
 
 }  // namespace icsdiv::core

@@ -1,0 +1,264 @@
+#include "runner/batch_runner.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <thread>
+
+#include "core/metrics.hpp"
+#include "core/optimizer.hpp"
+#include "support/csv.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace icsdiv::runner {
+
+namespace {
+
+/// Shortest round-trippable decimal form, stable across runs.
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// JSON has no Infinity literal; non-finite values become null.
+support::Json json_number(double value) {
+  if (!std::isfinite(value)) return nullptr;
+  return value;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_parallel) {
+  ScenarioResult result;
+  result.name = spec.name.empty() ? spec.derive_name() : spec.name;
+  result.hosts = spec.workload.hosts;
+  result.degree = spec.workload.average_degree;
+  result.services = spec.workload.services;
+  result.products_per_service = spec.workload.products_per_service;
+  result.solver = spec.solver;
+  result.constraints = spec.constraints;
+  result.seed = spec.seed;
+  try {
+    WorkloadParams workload = spec.workload;
+    workload.seed = spec.seed;  // the scenario seed is the cell's RNG stream
+
+    support::Stopwatch build_watch;
+    const WorkloadInstance instance = make_workload(workload);
+    const core::ConstraintSet constraints =
+        apply_constraint_recipe(spec.constraints, *instance.network);
+    result.build_seconds = build_watch.seconds();
+    result.links = instance.network->topology().edge_count();
+    result.variables = instance.network->instance_count();
+
+    core::OptimizeOptions options;
+    options.solver = spec.solver;
+    options.solve = spec.solve;
+    options.decompose = spec.decompose;
+    options.parallel = inner_parallel.value_or(spec.parallel);
+
+    support::Stopwatch solve_watch;
+    const core::Optimizer optimizer(*instance.network);
+    const core::OptimizeOutcome outcome = optimizer.optimize(constraints, options);
+    result.solve_seconds = solve_watch.seconds();
+    ensure(outcome.assignment.complete(), "run_scenario",
+           "solver returned an incomplete assignment");
+
+    result.energy = outcome.solve.energy;
+    result.lower_bound = outcome.solve.lower_bound;
+    result.iterations = outcome.solve.iterations;
+    result.converged = outcome.solve.converged;
+    result.constraints_satisfied = outcome.constraints_satisfied;
+    result.total_similarity = outcome.pairwise_similarity;
+    result.average_similarity = core::average_edge_similarity(outcome.assignment);
+    result.normalized_richness = core::normalized_effective_richness(outcome.assignment);
+  } catch (const std::exception& error) {
+    result.error = error.what();
+  }
+  return result;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(std::move(options)) {}
+
+void BatchRunner::run_cells(std::size_t count,
+                            const std::function<void(std::size_t)>& cell,
+                            std::size_t threads) {
+  if (count == 0) return;
+  threads = std::min(resolve_threads(threads), count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) cell(i);
+    return;
+  }
+  support::ThreadPool pool(threads);
+  pool.parallel_for(count, cell);
+}
+
+BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  const std::size_t threads = std::min(resolve_threads(options_.threads),
+                                       std::max<std::size_t>(1, specs.size()));
+  // A lone worker may as well let each cell fan out; otherwise the spec
+  // decides, unless the batch-wide override is set.
+  const std::optional<bool> inner_parallel =
+      options_.inner_parallel.has_value() ? options_.inner_parallel
+      : threads == 1                      ? std::optional<bool>(true)
+                                          : std::nullopt;
+
+  BatchReport report;
+  report.threads = threads;
+  report.results.resize(specs.size());
+
+  support::Stopwatch watch;
+  run_cells(
+      specs.size(),
+      [&](std::size_t index) {
+        ScenarioResult result = run_scenario(specs[index], inner_parallel);
+        result.index = index;
+        if (options_.on_result) options_.on_result(result);
+        report.results[index] = std::move(result);
+      },
+      threads);
+  report.wall_seconds = watch.seconds();
+  return report;
+}
+
+std::size_t BatchReport::failed_count() const noexcept {
+  std::size_t failed = 0;
+  for (const ScenarioResult& result : results) {
+    if (!result.error.empty()) ++failed;
+  }
+  return failed;
+}
+
+void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
+  support::CsvWriter writer(out);
+  std::vector<std::string> header{
+      "name",        "hosts",      "degree",           "services",
+      "products",    "solver",     "constraints",      "seed",
+      "links",       "variables",  "energy",           "lower_bound",
+      "iterations",  "converged",  "satisfied",        "total_similarity",
+      "avg_similarity", "richness"};
+  if (include_timings) {
+    header.insert(header.end(), {"build_seconds", "solve_seconds"});
+  }
+  header.push_back("error");
+  writer.write_row(header);
+  for (const ScenarioResult& r : results) {
+    std::vector<std::string> row{
+        r.name,
+        std::to_string(r.hosts),
+        format_double(r.degree),
+        std::to_string(r.services),
+        std::to_string(r.products_per_service),
+        r.solver,
+        r.constraints,
+        std::to_string(r.seed),
+        std::to_string(r.links),
+        std::to_string(r.variables),
+        format_double(r.energy),
+        format_double(r.lower_bound),
+        std::to_string(r.iterations),
+        r.converged ? "yes" : "no",
+        r.constraints_satisfied ? "yes" : "no",
+        format_double(r.total_similarity),
+        format_double(r.average_similarity),
+        format_double(r.normalized_richness)};
+    if (include_timings) {
+      row.push_back(format_double(r.build_seconds));
+      row.push_back(format_double(r.solve_seconds));
+    }
+    row.push_back(r.error);
+    writer.write_row(row);
+  }
+}
+
+support::Json BatchReport::to_json() const {
+  support::JsonObject root;
+  root.set("threads", threads);
+  root.set("wall_seconds", wall_seconds);
+  root.set("cells", results.size());
+  root.set("failed", failed_count());
+
+  support::JsonArray cells;
+  for (const ScenarioResult& r : results) {
+    support::JsonObject cell;
+    cell.set("name", r.name);
+    cell.set("hosts", r.hosts);
+    cell.set("degree", r.degree);
+    cell.set("services", r.services);
+    cell.set("products_per_service", r.products_per_service);
+    cell.set("solver", r.solver);
+    cell.set("constraints", r.constraints);
+    cell.set("seed", static_cast<std::int64_t>(r.seed));
+    if (!r.error.empty()) {
+      cell.set("error", r.error);
+      cells.emplace_back(std::move(cell));
+      continue;
+    }
+    cell.set("links", r.links);
+    cell.set("variables", r.variables);
+    cell.set("energy", json_number(r.energy));
+    cell.set("lower_bound", json_number(r.lower_bound));
+    cell.set("iterations", r.iterations);
+    cell.set("converged", r.converged);
+    cell.set("satisfied", r.constraints_satisfied);
+    cell.set("total_similarity", json_number(r.total_similarity));
+    cell.set("avg_similarity", json_number(r.average_similarity));
+    cell.set("richness", json_number(r.normalized_richness));
+    cell.set("build_seconds", r.build_seconds);
+    cell.set("solve_seconds", r.solve_seconds);
+    cells.emplace_back(std::move(cell));
+  }
+  root.set("results", std::move(cells));
+
+  // Aggregates per (solver, constraints): the cross-axis comparison a
+  // sweep is usually run for.
+  struct Aggregate {
+    std::size_t cells = 0;
+    std::size_t failures = 0;
+    double energy = 0.0;
+    double similarity = 0.0;
+    double richness = 0.0;
+    double solve_seconds = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Aggregate> groups;
+  for (const ScenarioResult& r : results) {
+    Aggregate& group = groups[{r.solver, r.constraints}];
+    ++group.cells;
+    if (!r.error.empty()) {
+      ++group.failures;
+      continue;
+    }
+    group.energy += r.energy;
+    group.similarity += r.average_similarity;
+    group.richness += r.normalized_richness;
+    group.solve_seconds += r.solve_seconds;
+  }
+  support::JsonArray aggregates;
+  for (const auto& [key, group] : groups) {
+    const double ok = static_cast<double>(group.cells - group.failures);
+    support::JsonObject entry;
+    entry.set("solver", key.first);
+    entry.set("constraints", key.second);
+    entry.set("cells", group.cells);
+    entry.set("failures", group.failures);
+    entry.set("mean_energy", ok > 0 ? json_number(group.energy / ok) : support::Json(nullptr));
+    entry.set("mean_avg_similarity",
+              ok > 0 ? json_number(group.similarity / ok) : support::Json(nullptr));
+    entry.set("mean_richness", ok > 0 ? json_number(group.richness / ok) : support::Json(nullptr));
+    entry.set("mean_solve_seconds",
+              ok > 0 ? json_number(group.solve_seconds / ok) : support::Json(nullptr));
+    aggregates.emplace_back(std::move(entry));
+  }
+  root.set("aggregates", std::move(aggregates));
+  return root;
+}
+
+}  // namespace icsdiv::runner

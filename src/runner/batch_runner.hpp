@@ -1,0 +1,113 @@
+// Parallel scenario batch engine.
+//
+// BatchRunner shards a list of ScenarioSpec cells across its own
+// ThreadPool (not the global one: cells may themselves fan subproblems or
+// Monte-Carlo runs out to the global pool, and keeping the two pools
+// separate makes that nesting deadlock-free).  Each cell derives a private
+// deterministic RNG stream from its spec seed, so the report's
+// deterministic columns are bit-identical whether the batch runs on one
+// thread or many — the property the determinism test pins down.
+//
+// Per cell the runner generates the workload, applies the constraint
+// recipe, resolves the solver by registry name, optimises, and collects
+// the SolveResult together with the core::metrics diversity measures.
+// Failures are captured per cell (the batch keeps going) and surfaced in
+// the report's `error` column.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "support/json.hpp"
+
+namespace icsdiv::runner {
+
+struct ScenarioResult {
+  std::size_t index = 0;  ///< position in the submitted grid
+  std::string name;
+  // Axis echo, so a report row is self-describing.
+  std::size_t hosts = 0;
+  double degree = 0.0;
+  std::size_t services = 0;
+  std::size_t products_per_service = 0;
+  std::string solver;
+  std::string constraints;
+  std::uint64_t seed = 0;
+  // Instance shape.
+  std::size_t links = 0;
+  std::size_t variables = 0;
+  // Solve outcome (deterministic given the spec).
+  double energy = 0.0;
+  double lower_bound = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  bool constraints_satisfied = false;
+  // Diversity metrics of the decoded assignment (deterministic).
+  double total_similarity = 0.0;
+  double average_similarity = 0.0;
+  double normalized_richness = 0.0;
+  // Wall-clock (machine-dependent; excluded from determinism checks).
+  double build_seconds = 0.0;
+  double solve_seconds = 0.0;
+  /// Non-empty when the cell threw; every other field but index/name/axes
+  /// is then meaningless.
+  std::string error;
+};
+
+struct BatchReport {
+  std::vector<ScenarioResult> results;  ///< ordered by spec index
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::size_t failed_count() const noexcept;
+
+  /// Per-cell CSV; `include_timings` off gives the deterministic subset.
+  void write_csv(std::ostream& out, bool include_timings = true) const;
+
+  /// Full report: grid echo, per-cell rows, and per-(solver, constraints)
+  /// aggregates (mean energy / similarity / seconds over cells).
+  [[nodiscard]] support::Json to_json() const;
+};
+
+struct BatchOptions {
+  /// Worker threads for cells; 0 means hardware_concurrency.  Use 1 for
+  /// timing sweeps (cells then get the machine to themselves and may use
+  /// in-cell parallelism instead).
+  std::size_t threads = 0;
+  /// Overrides ScenarioSpec::parallel (in-cell decomposed-solve
+  /// parallelism) for every cell.  Unset: forced on when `threads` is 1
+  /// (a lone worker may as well fan out), per-spec otherwise.
+  std::optional<bool> inner_parallel;
+  /// Called after each cell completes, from the completing thread
+  /// (serialise your own side effects); useful for progress dots.
+  std::function<void(const ScenarioResult&)> on_result;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  [[nodiscard]] BatchReport run(const std::vector<ScenarioSpec>& specs) const;
+  [[nodiscard]] BatchReport run(const ScenarioGrid& grid) const { return run(grid.expand()); }
+
+  /// The sharding primitive behind run(): executes `cell(i)` for every
+  /// i < count across `threads` workers on a dedicated pool (sequentially
+  /// when threads or count is 1).  Exceptions propagate (first wins).
+  /// Other grid-shaped work (e.g. sim::run_mttc_grid) reuses this.
+  static void run_cells(std::size_t count, const std::function<void(std::size_t)>& cell,
+                        std::size_t threads = 0);
+
+ private:
+  BatchOptions options_;
+};
+
+/// Runs one cell synchronously (the unit BatchRunner parallelises).
+/// `inner_parallel` overrides ScenarioSpec::parallel (the decomposed
+/// solve's own thread fan-out) when set.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          std::optional<bool> inner_parallel = std::nullopt);
+
+}  // namespace icsdiv::runner

@@ -1,0 +1,208 @@
+#include "runner/scenario.hpp"
+
+#include <sstream>
+
+namespace icsdiv::runner {
+
+namespace {
+
+core::ConstraintSet pinned_recipe(const core::Network& network) {
+  core::ConstraintSet constraints;
+  for (core::HostId host = 0; host < network.host_count(); host += 4) {
+    const auto services = network.services_of(host);
+    if (services.empty()) continue;
+    constraints.fix(host, services[0].service, services[0].candidates[0]);
+  }
+  return constraints;
+}
+
+core::ConstraintSet forbidden_pair_recipe(const core::Network& network) {
+  // Global ⟨*, s0, s1, +p, −q⟩ over the first two services that appear
+  // with their first candidates; degenerates to "none" when no host runs
+  // two services.
+  core::ConstraintSet constraints;
+  for (core::HostId host = 0; host < network.host_count(); ++host) {
+    const auto services = network.services_of(host);
+    if (services.size() < 2) continue;
+    core::PairConstraint pair;
+    pair.host = core::kAllHosts;
+    pair.trigger_service = services[0].service;
+    pair.trigger_product = services[0].candidates[0];
+    pair.partner_service = services[1].service;
+    pair.partner_product = services[1].candidates[0];
+    pair.polarity = core::ConstraintPolarity::Forbid;
+    constraints.add(pair);
+    break;
+  }
+  return constraints;
+}
+
+}  // namespace
+
+core::ConstraintSet apply_constraint_recipe(const std::string& recipe,
+                                            const core::Network& network) {
+  if (recipe.empty() || recipe == "none") return {};
+  if (recipe == "pinned") return pinned_recipe(network);
+  if (recipe == "forbidden-pair") return forbidden_pair_recipe(network);
+  throw InvalidArgument("unknown constraint recipe: " + recipe +
+                        " (known: none, pinned, forbidden-pair)");
+}
+
+std::vector<std::string> constraint_recipe_names() {
+  return {"none", "pinned", "forbidden-pair"};
+}
+
+std::string ScenarioSpec::derive_name() const {
+  std::ostringstream out;
+  out << "h" << workload.hosts << "-d" << workload.average_degree << "-s" << workload.services
+      << "-p" << workload.products_per_service << "-" << solver << "-" << constraints << "-seed"
+      << seed;
+  return out.str();
+}
+
+std::size_t ScenarioGrid::size() const noexcept {
+  return hosts.size() * degrees.size() * services.size() * products_per_service.size() *
+         solvers.size() * constraints.size() * seeds.size();
+}
+
+std::vector<ScenarioSpec> ScenarioGrid::expand() const {
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(size());
+  for (const std::size_t host_count : hosts) {
+    for (const double degree : degrees) {
+      for (const std::size_t service_count : services) {
+        for (const std::size_t product_count : products_per_service) {
+          for (const std::string& solver_name : solvers) {
+            for (const std::string& recipe : constraints) {
+              for (const std::uint64_t seed : seeds) {
+                ScenarioSpec spec;
+                spec.workload.hosts = host_count;
+                spec.workload.average_degree = degree;
+                spec.workload.services = service_count;
+                spec.workload.products_per_service = product_count;
+                spec.workload.similar_pair_fraction = similar_pair_fraction;
+                spec.workload.max_similarity = max_similarity;
+                spec.solver = solver_name;
+                spec.constraints = recipe;
+                spec.seed = seed;
+                spec.solve = solve;
+                spec.name = spec.derive_name();
+                specs.push_back(std::move(spec));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+/// Accepts a scalar or an array of scalars; returns the values as doubles.
+std::vector<double> number_axis(const support::Json& value, const std::string& key) {
+  std::vector<double> result;
+  if (value.is_array()) {
+    for (const support::Json& element : value.as_array()) result.push_back(element.as_double());
+  } else {
+    result.push_back(value.as_double());
+  }
+  require(!result.empty(), "ScenarioGrid::from_json", "empty axis: " + key);
+  return result;
+}
+
+std::vector<std::string> string_axis(const support::Json& value, const std::string& key) {
+  std::vector<std::string> result;
+  if (value.is_array()) {
+    for (const support::Json& element : value.as_array()) result.push_back(element.as_string());
+  } else {
+    result.push_back(value.as_string());
+  }
+  require(!result.empty(), "ScenarioGrid::from_json", "empty axis: " + key);
+  return result;
+}
+
+/// Integer axis values parse exactly (the JSON layer keeps int64 exact);
+/// doubles like 100.9 would otherwise truncate silently.
+template <typename T>
+std::vector<T> integer_axis(const support::Json& value, const std::string& key) {
+  std::vector<T> result;
+  const auto append = [&](const support::Json& element) {
+    const std::int64_t exact = element.as_integer();  // throws on 100.9 etc.
+    require(exact >= 0, "ScenarioGrid::from_json",
+            "axis values must be non-negative: " + key);
+    result.push_back(static_cast<T>(exact));
+  };
+  if (value.is_array()) {
+    for (const support::Json& element : value.as_array()) append(element);
+  } else {
+    append(value);
+  }
+  require(!result.empty(), "ScenarioGrid::from_json", "empty axis: " + key);
+  return result;
+}
+
+}  // namespace
+
+ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
+  ScenarioGrid grid;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "name") {
+      grid.name = value.as_string();
+    } else if (key == "hosts") {
+      grid.hosts = integer_axis<std::size_t>(value, key);
+    } else if (key == "degrees") {
+      grid.degrees = number_axis(value, key);
+    } else if (key == "services") {
+      grid.services = integer_axis<std::size_t>(value, key);
+    } else if (key == "products_per_service") {
+      grid.products_per_service = integer_axis<std::size_t>(value, key);
+    } else if (key == "solvers") {
+      grid.solvers = string_axis(value, key);
+    } else if (key == "constraints") {
+      grid.constraints = string_axis(value, key);
+    } else if (key == "seeds") {
+      grid.seeds = integer_axis<std::uint64_t>(value, key);
+    } else if (key == "similar_pair_fraction") {
+      grid.similar_pair_fraction = value.as_double();
+    } else if (key == "max_similarity") {
+      grid.max_similarity = value.as_double();
+    } else if (key == "max_iterations") {
+      grid.solve.max_iterations = static_cast<std::size_t>(value.as_integer());
+    } else if (key == "tolerance") {
+      grid.solve.tolerance = value.as_double();
+    } else {
+      throw InvalidArgument("ScenarioGrid::from_json: unknown key: " + key);
+    }
+  }
+  return grid;
+}
+
+support::Json ScenarioGrid::to_json() const {
+  support::JsonObject object;
+  object.set("name", name);
+  const auto sizes = [](const auto& values) {
+    support::JsonArray array;
+    for (const auto& value : values) array.emplace_back(value);
+    return array;
+  };
+  object.set("hosts", sizes(hosts));
+  object.set("degrees", sizes(degrees));
+  object.set("services", sizes(services));
+  object.set("products_per_service", sizes(products_per_service));
+  object.set("solvers", sizes(solvers));
+  object.set("constraints", sizes(constraints));
+  support::JsonArray seed_array;
+  for (const std::uint64_t seed : seeds) {
+    seed_array.emplace_back(static_cast<std::int64_t>(seed));
+  }
+  object.set("seeds", std::move(seed_array));
+  object.set("similar_pair_fraction", similar_pair_fraction);
+  object.set("max_similarity", max_similarity);
+  object.set("max_iterations", solve.max_iterations);
+  object.set("tolerance", solve.tolerance);
+  return object;
+}
+
+}  // namespace icsdiv::runner

@@ -1,0 +1,79 @@
+// Scenario grids: the declarative description of a batch experiment.
+//
+// One ScenarioSpec names a single cell — {workload generator params ×
+// solver × constraint recipe × seed × solve options}.  A ScenarioGrid is
+// the cartesian product over per-axis value lists, the shape every sweep
+// in the paper's §VIII evaluation takes (and the shape `icsdiv_cli batch`
+// accepts as a JSON document).
+//
+// Constraint sets depend on the generated network's ids, so the grid names
+// a *recipe* — a deterministic rule applied after generation:
+//   "none"          no constraints (α̂)
+//   "pinned"        every 4th host's first service fixed to its first
+//                   candidate (legacy-host pins, the case study's C1 shape)
+//   "forbidden-pair" global Def. 4 constraint: product 0 of service 0
+//                   forbids product 0 of service 1 on the same host
+//                   (undesirable-combination bans, the C2 shape)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "mrf/solver.hpp"
+#include "runner/workload.hpp"
+#include "support/json.hpp"
+
+namespace icsdiv::runner {
+
+/// Builds the constraint set `recipe` prescribes for `network`.  Throws
+/// InvalidArgument for unknown recipe names.
+[[nodiscard]] core::ConstraintSet apply_constraint_recipe(const std::string& recipe,
+                                                          const core::Network& network);
+
+/// Registered recipe names (for usage strings and validation).
+[[nodiscard]] std::vector<std::string> constraint_recipe_names();
+
+struct ScenarioSpec {
+  /// Report label; derive_name() fills it from the axes when empty.
+  std::string name;
+  WorkloadParams workload;  ///< workload.seed is overwritten from `seed`
+  std::string solver = "trws";
+  std::string constraints = "none";
+  std::uint64_t seed = 2020;
+  mrf::SolveOptions solve;
+  /// Solve independent MRF components separately, and concurrently when
+  /// `parallel` (the in-cell fan-out; BatchRunner forces it on when it
+  /// runs cells on a single worker, see BatchOptions::inner_parallel).
+  bool decompose = true;
+  bool parallel = false;
+
+  [[nodiscard]] std::string derive_name() const;
+};
+
+/// Axis lists; expand() emits their cartesian product in a fixed order
+/// (hosts → degree → services → products → solver → constraints → seed).
+struct ScenarioGrid {
+  std::string name = "grid";
+  std::vector<std::size_t> hosts{1000};
+  std::vector<double> degrees{20.0};
+  std::vector<std::size_t> services{15};
+  std::vector<std::size_t> products_per_service{5};
+  std::vector<std::string> solvers{"trws"};
+  std::vector<std::string> constraints{"none"};
+  std::vector<std::uint64_t> seeds{2020};
+  double similar_pair_fraction = 0.5;
+  double max_similarity = 0.6;
+  mrf::SolveOptions solve;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::vector<ScenarioSpec> expand() const;
+
+  /// Parses the `icsdiv_cli batch --grid` document.  Every axis key is
+  /// optional and may be a scalar or an array; unknown keys throw.
+  static ScenarioGrid from_json(const support::Json& json);
+  [[nodiscard]] support::Json to_json() const;
+};
+
+}  // namespace icsdiv::runner

@@ -1,13 +1,13 @@
-#include "bench_util.hpp"
+#include "runner/workload.hpp"
 
 #include "graph/generators.hpp"
 
-namespace icsdiv::bench {
+namespace icsdiv::runner {
 
-ScalabilityInstance make_scalability_instance(const ScalabilityParams& params) {
+WorkloadInstance make_workload(const WorkloadParams& params) {
   support::Rng rng(params.seed);
 
-  ScalabilityInstance instance;
+  WorkloadInstance instance;
   instance.catalog = std::make_unique<core::ProductCatalog>();
   core::ProductCatalog& catalog = *instance.catalog;
 
@@ -47,4 +47,4 @@ ScalabilityInstance make_scalability_instance(const ScalabilityParams& params) {
   return instance;
 }
 
-}  // namespace icsdiv::bench
+}  // namespace icsdiv::runner

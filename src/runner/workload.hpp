@@ -1,0 +1,41 @@
+// Synthetic §VIII scalability workloads (promoted from the bench harness
+// so the batch engine, the CLI and the benches all draw instances from one
+// generator).
+//
+// A workload is a connected random network of `hosts` nodes at a target
+// average degree where every host runs all `services`, each choosing among
+// the same `products_per_service` candidates, with a sparse random
+// similarity structure over each service's product family.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/network.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::runner {
+
+struct WorkloadParams {
+  std::size_t hosts = 1000;
+  double average_degree = 20.0;
+  std::size_t services = 15;
+  std::size_t products_per_service = 5;
+  /// Random Jaccard-style similarities: a fraction of product pairs share
+  /// vulnerabilities, with similarity drawn uniformly below this cap.
+  double similar_pair_fraction = 0.5;
+  double max_similarity = 0.6;
+  std::uint64_t seed = 2020;
+};
+
+/// Owns the catalog + network of one workload instance (the network keeps
+/// a pointer into the catalog, so both live together).
+struct WorkloadInstance {
+  std::unique_ptr<core::ProductCatalog> catalog;
+  std::unique_ptr<core::Network> network;
+};
+
+/// Builds the workload deterministically from `params.seed`.
+[[nodiscard]] WorkloadInstance make_workload(const WorkloadParams& params);
+
+}  // namespace icsdiv::runner

@@ -2,7 +2,10 @@
 //
 // Runs a grid of {named assignment} × {entry host} MTTC estimates against
 // one target, mirroring the paper's five-entry-point evaluation with 1 000
-// simulation runs per cell.
+// simulation runs per cell.  Cells are sharded across threads by the batch
+// engine's cell primitive (runner::BatchRunner::run_cells); per-cell seeds
+// derive deterministically from the grid seed, so results are independent
+// of the thread count.
 #pragma once
 
 #include <string>
@@ -19,6 +22,10 @@ struct MttcGridSpec {
   std::size_t runs_per_cell = 1000;
   std::uint64_t seed = 2020;
   SimulationParams params;
+  /// Worker threads for the (assignment × entry) cells; 0 means
+  /// hardware_concurrency.  Simulation runs inside a cell stay sequential
+  /// when cells run concurrently (same totals either way).
+  std::size_t threads = 0;
 };
 
 struct MttcGridRow {
@@ -26,8 +33,6 @@ struct MttcGridRow {
   std::vector<MttcResult> per_entry;  ///< aligned with spec.entries
 };
 
-/// Executes the grid (cells run sequentially; each cell's runs use the
-/// simulator's internal parallelism).
 [[nodiscard]] std::vector<MttcGridRow> run_mttc_grid(const MttcGridSpec& spec);
 
 }  // namespace icsdiv::sim

@@ -5,6 +5,7 @@
 #include "core/metrics.hpp"
 #include "core/optimizer.hpp"
 #include "mrf/exhaustive.hpp"
+#include "mrf/registry.hpp"
 
 namespace icsdiv::core {
 namespace {
@@ -189,13 +190,12 @@ TEST(Optimizer, ConstrainedOptimumRespectsConstraintsAndCostsMore) {
   EXPECT_GE(constrained.pairwise_similarity, free.pairwise_similarity - 1e-9);
 }
 
-TEST(Optimizer, AllSolverKindsProduceValidAssignments) {
+TEST(Optimizer, AllRegisteredSolversProduceValidAssignments) {
   Instance inst;
   const Optimizer optimizer(*inst.network);
-  for (const SolverKind kind : {SolverKind::Trws, SolverKind::Bp, SolverKind::Icm,
-                                SolverKind::MultilevelTrws}) {
+  for (const std::string& name : mrf::SolverRegistry::instance().names()) {
     OptimizeOptions options;
-    options.solver = kind;
+    options.solver = name;
     const OptimizeOutcome outcome = optimizer.optimize({}, options);
     EXPECT_TRUE(outcome.assignment.complete());
     EXPECT_NO_THROW(outcome.assignment.validate());

@@ -1,0 +1,97 @@
+// SolverRegistry: every registered name round-trips to a working solver,
+// unknown names error cleanly, and custom factories can be plugged in.
+#include <gtest/gtest.h>
+
+#include "mrf/registry.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::mrf {
+namespace {
+
+/// Small loopy MRF every built-in (including exhaustive) can handle.
+Mrf small_mrf() {
+  support::Rng rng(99);
+  Mrf mrf;
+  for (int i = 0; i < 6; ++i) {
+    const VariableId v = mrf.add_variable(3);
+    for (auto& cost : mrf.unary(v)) cost = rng.uniform();
+  }
+  std::vector<Cost> data(9, 0.0);
+  for (std::size_t a = 0; a < 3; ++a) data[a * 3 + a] = 1.0;
+  const MatrixId m = mrf.add_matrix(3, 3, std::move(data));
+  for (VariableId v = 0; v + 1 < 6; ++v) mrf.add_edge(v, v + 1, m);
+  mrf.add_edge(0, 5, m);
+  return mrf;
+}
+
+TEST(SolverRegistry, ListsTheBuiltInsSorted) {
+  const auto names = SolverRegistry::instance().names();
+  const std::vector<std::string> expected{"bp", "exhaustive", "icm", "multilevel", "trws"};
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(SolverRegistry::instance().contains(name)) << name;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SolverRegistry, EveryRegisteredNameConstructsAWorkingSolver) {
+  const Mrf mrf = small_mrf();
+  for (const std::string& name : SolverRegistry::instance().names()) {
+    SCOPED_TRACE(name);
+    const std::unique_ptr<Solver> solver = SolverRegistry::instance().create(name);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_FALSE(solver->name().empty());
+    const SolveResult result = solver->solve(mrf);
+    ASSERT_EQ(result.labels.size(), mrf.variable_count());
+    // The reported energy must be the energy of the returned labelling.
+    EXPECT_NEAR(mrf.energy(result.labels), result.energy, 1e-9);
+  }
+}
+
+TEST(SolverRegistry, ContainsRejectsUnknownNames) {
+  EXPECT_FALSE(SolverRegistry::instance().contains("gurobi"));
+  EXPECT_FALSE(SolverRegistry::instance().contains(""));
+}
+
+TEST(SolverRegistry, UnknownNameErrorsCleanlyAndListsOptions) {
+  try {
+    (void)SolverRegistry::instance().create("no-such-solver");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("no-such-solver"), std::string::npos);
+    EXPECT_NE(what.find("trws"), std::string::npos) << "should list registered names";
+  }
+}
+
+TEST(SolverRegistry, CustomFactoriesPlugIn) {
+  class FixedSolver final : public Solver {
+   public:
+    [[nodiscard]] std::string name() const override { return "fixed"; }
+    [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions&) const override {
+      SolveResult result;
+      result.labels.assign(mrf.variable_count(), 0);
+      result.energy = mrf.energy(result.labels);
+      result.converged = true;
+      return result;
+    }
+  };
+  // The instance is process-wide; register under a test-only name and rely
+  // on latest-wins semantics for idempotence across repeats.
+  SolverRegistry::instance().register_solver("test-fixed",
+                                             [] { return std::make_unique<FixedSolver>(); });
+  EXPECT_TRUE(SolverRegistry::instance().contains("test-fixed"));
+  const auto solver = SolverRegistry::instance().create("test-fixed");
+  const Mrf mrf = small_mrf();
+  EXPECT_EQ(solver->solve(mrf).labels, std::vector<Label>(mrf.variable_count(), 0));
+}
+
+TEST(SolverRegistry, RejectsEmptyNameAndNullFactory) {
+  EXPECT_THROW(
+      SolverRegistry::instance().register_solver("", [] { return std::unique_ptr<Solver>{}; }),
+      InvalidArgument);
+  EXPECT_THROW(SolverRegistry::instance().register_solver("null-factory", nullptr),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace icsdiv::mrf

@@ -1,0 +1,226 @@
+// Scenario grids and the parallel batch engine: cartesian expansion, JSON
+// round-trips, constraint recipes, and the determinism guarantee — the
+// same grid + seed produces an identical report on 1 and N threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "runner/batch_runner.hpp"
+
+namespace icsdiv::runner {
+namespace {
+
+/// Small grid that exercises every axis and stays fast (12 cells).
+ScenarioGrid small_grid() {
+  ScenarioGrid grid;
+  grid.hosts = {12, 20};
+  grid.degrees = {4.0};
+  grid.services = {2};
+  grid.products_per_service = {3};
+  grid.solvers = {"trws", "icm"};
+  grid.constraints = {"none", "pinned", "forbidden-pair"};
+  grid.seeds = {7};
+  grid.solve.max_iterations = 30;
+  return grid;
+}
+
+TEST(ScenarioGrid, ExpandsTheCartesianProduct) {
+  const ScenarioGrid grid = small_grid();
+  EXPECT_EQ(grid.size(), 12u);
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 12u);
+  // Fixed axis order: hosts outermost, seeds innermost.
+  EXPECT_EQ(specs[0].workload.hosts, 12u);
+  EXPECT_EQ(specs[0].solver, "trws");
+  EXPECT_EQ(specs[0].constraints, "none");
+  EXPECT_EQ(specs[1].constraints, "pinned");
+  EXPECT_EQ(specs[3].solver, "icm");
+  EXPECT_EQ(specs[6].workload.hosts, 20u);
+  // Names are unique and self-describing.
+  EXPECT_NE(specs[0].name, specs[1].name);
+  EXPECT_NE(specs[0].name.find("h12"), std::string::npos);
+  EXPECT_NE(specs[0].name.find("trws"), std::string::npos);
+}
+
+TEST(ScenarioGrid, JsonRoundTripAndScalarAxes) {
+  const support::Json parsed = support::Json::parse(R"({
+    "name": "t",
+    "hosts": [10, 20],
+    "degrees": 4,
+    "services": 2,
+    "products_per_service": [3],
+    "solvers": "icm",
+    "constraints": ["none"],
+    "seeds": [1, 2, 3],
+    "max_iterations": 17,
+    "tolerance": 1e-5
+  })");
+  const ScenarioGrid grid = ScenarioGrid::from_json(parsed);
+  EXPECT_EQ(grid.name, "t");
+  EXPECT_EQ(grid.hosts, (std::vector<std::size_t>{10, 20}));
+  EXPECT_EQ(grid.degrees, (std::vector<double>{4.0}));
+  EXPECT_EQ(grid.solvers, (std::vector<std::string>{"icm"}));
+  EXPECT_EQ(grid.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(grid.solve.max_iterations, 17u);
+  EXPECT_EQ(grid.size(), 6u);
+
+  const ScenarioGrid reparsed = ScenarioGrid::from_json(grid.to_json());
+  EXPECT_EQ(reparsed.hosts, grid.hosts);
+  EXPECT_EQ(reparsed.seeds, grid.seeds);
+  EXPECT_EQ(reparsed.size(), grid.size());
+}
+
+TEST(ScenarioGrid, UnknownKeysThrow) {
+  const support::Json parsed = support::Json::parse(R"({"hostz": [10]})");
+  EXPECT_THROW(ScenarioGrid::from_json(parsed), InvalidArgument);
+}
+
+TEST(ScenarioGrid, IntegerAxesRejectFractionsInsteadOfTruncating) {
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"hosts": [100.9]})")),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"seeds": [-3]})")),
+               InvalidArgument);
+  // Large seeds survive exactly (no double round-trip).
+  const ScenarioGrid grid =
+      ScenarioGrid::from_json(support::Json::parse(R"({"seeds": [9007199254740993]})"));
+  EXPECT_EQ(grid.seeds, (std::vector<std::uint64_t>{9007199254740993ULL}));
+}
+
+TEST(ConstraintRecipes, UnknownRecipeThrows) {
+  const WorkloadInstance instance = make_workload(WorkloadParams{.hosts = 4, .services = 1});
+  EXPECT_THROW(apply_constraint_recipe("bogus", *instance.network), InvalidArgument);
+}
+
+TEST(ConstraintRecipes, PinnedFixesEveryFourthHost) {
+  WorkloadParams params;
+  params.hosts = 9;
+  params.services = 2;
+  const WorkloadInstance instance = make_workload(params);
+  const core::ConstraintSet constraints = apply_constraint_recipe("pinned", *instance.network);
+  ASSERT_EQ(constraints.fixed().size(), 3u);  // hosts 0, 4, 8
+  EXPECT_EQ(constraints.fixed()[0].host, 0u);
+  EXPECT_TRUE(constraints.pairs().empty());
+  constraints.validate(*instance.network);
+}
+
+TEST(ConstraintRecipes, ForbiddenPairIsGlobal) {
+  WorkloadParams params;
+  params.hosts = 6;
+  params.services = 2;
+  const WorkloadInstance instance = make_workload(params);
+  const core::ConstraintSet constraints =
+      apply_constraint_recipe("forbidden-pair", *instance.network);
+  ASSERT_EQ(constraints.pairs().size(), 1u);
+  EXPECT_EQ(constraints.pairs()[0].host, core::kAllHosts);
+  constraints.validate(*instance.network);
+}
+
+TEST(RunScenario, SolvesAndReportsMetrics) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 15;
+  spec.workload.average_degree = 4.0;
+  spec.workload.services = 2;
+  spec.workload.products_per_service = 3;
+  spec.seed = 11;
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.hosts, 15u);
+  EXPECT_EQ(result.variables, 30u);
+  EXPECT_GT(result.links, 0u);
+  EXPECT_TRUE(result.constraints_satisfied);
+  EXPECT_GT(result.normalized_richness, 0.0);
+  EXPECT_GE(result.total_similarity, 0.0);
+  EXPECT_GE(result.total_similarity, result.average_similarity);  // ≥ 1 link-service pair
+}
+
+TEST(RunScenario, CapturesFailuresPerCell) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 8;
+  spec.solver = "no-such-solver";
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("no-such-solver"), std::string::npos);
+}
+
+TEST(BatchRunner, FailedCellsDoNotSinkTheBatch) {
+  ScenarioGrid grid = small_grid();
+  grid.solvers = {"trws", "no-such-solver"};
+  grid.constraints = {"none"};
+  const BatchReport report = BatchRunner(BatchOptions{.threads = 2}).run(grid);
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.failed_count(), 2u);
+  for (const ScenarioResult& result : report.results) {
+    EXPECT_EQ(result.error.empty(), result.solver == "trws");
+  }
+}
+
+/// The deterministic column subset, as CSV text, for exact comparison.
+std::string deterministic_csv(const BatchReport& report) {
+  std::ostringstream out;
+  report.write_csv(out, /*include_timings=*/false);
+  return out.str();
+}
+
+TEST(BatchRunner, SameGridAndSeedIsIdenticalAcrossThreadCounts) {
+  const ScenarioGrid grid = small_grid();
+
+  BatchOptions serial;
+  serial.threads = 1;
+  serial.inner_parallel = false;
+  BatchOptions parallel;
+  parallel.threads = 4;
+  parallel.inner_parallel = false;
+
+  const BatchReport a = BatchRunner(serial).run(grid);
+  const BatchReport b = BatchRunner(parallel).run(grid);
+  ASSERT_EQ(a.results.size(), grid.size());
+  ASSERT_EQ(b.results.size(), grid.size());
+  EXPECT_EQ(a.failed_count(), 0u);
+  EXPECT_EQ(deterministic_csv(a), deterministic_csv(b));
+  // And the engine really used different shard widths.
+  EXPECT_EQ(a.threads, 1u);
+  EXPECT_EQ(b.threads, 4u);
+}
+
+TEST(BatchRunner, OnResultFiresOncePerCell) {
+  std::atomic<std::size_t> calls{0};
+  BatchOptions options;
+  options.threads = 3;
+  options.on_result = [&](const ScenarioResult&) { ++calls; };
+  const BatchReport report = BatchRunner(options).run(small_grid());
+  EXPECT_EQ(calls.load(), report.results.size());
+}
+
+TEST(BatchRunner, ResultsStayInSpecOrder) {
+  const auto specs = small_grid().expand();
+  const BatchReport report = BatchRunner(BatchOptions{.threads = 4}).run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(report.results[i].index, i);
+    EXPECT_EQ(report.results[i].name, specs[i].name);
+  }
+}
+
+TEST(BatchReport, JsonCarriesCellsAndAggregates) {
+  const BatchReport report = BatchRunner(BatchOptions{.threads = 2}).run(small_grid());
+  const support::Json json = report.to_json();
+  const auto& root = json.as_object();
+  EXPECT_EQ(root.at("cells").as_integer(), 12);
+  EXPECT_EQ(root.at("results").as_array().size(), 12u);
+  // One aggregate per (solver, constraints) pair.
+  EXPECT_EQ(root.at("aggregates").as_array().size(), 6u);
+  const auto& first = root.at("aggregates").as_array()[0].as_object();
+  EXPECT_TRUE(first.contains("mean_energy"));
+  EXPECT_EQ(first.at("cells").as_integer(), 2);
+  // The document serialises (no NaN/Infinity leaks into the writer).
+  EXPECT_FALSE(json.dump().empty());
+}
+
+TEST(BatchRunner, RunCellsCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(97);
+  BatchRunner::run_cells(hits.size(), [&](std::size_t i) { ++hits[i]; }, 5);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+}  // namespace
+}  // namespace icsdiv::runner

@@ -4,13 +4,16 @@
 // writing C++ (see examples/nvd_pipeline for producing them):
 //
 //   icsdiv_cli optimize  --catalog c.json --network n.json [--out a.json]
-//                        [--solver trws|bp|icm|multilevel]
+//                        [--solver NAME]   (any mrf::SolverRegistry name)
 //   icsdiv_cli evaluate  --catalog c.json --network n.json --assignment a.json
 //                        [--entry HOST --target HOST]
 //   icsdiv_cli report    --catalog c.json --network n.json --assignment a.json
 //   icsdiv_cli similarity --feed feed.json --cpe QUERY --cpe QUERY [...]
+//   icsdiv_cli batch     --grid grid.json [--csv FILE] [--json FILE]
+//                        [--threads N]
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,7 +26,9 @@
 #include "core/optimizer.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
+#include "mrf/registry.hpp"
 #include "nvd/similarity.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/worm_sim.hpp"
 #include "support/table.hpp"
 
@@ -67,14 +72,6 @@ const std::string& required(const Arguments& args, const std::string& name) {
   return it->second;
 }
 
-core::SolverKind solver_from_name(const std::string& name) {
-  if (name == "trws") return core::SolverKind::Trws;
-  if (name == "bp") return core::SolverKind::Bp;
-  if (name == "icm") return core::SolverKind::Icm;
-  if (name == "multilevel") return core::SolverKind::MultilevelTrws;
-  throw InvalidArgument("unknown solver: " + name);
-}
-
 int run_optimize(const Arguments& args) {
   const core::ProductCatalog catalog =
       core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
@@ -83,7 +80,7 @@ int run_optimize(const Arguments& args) {
 
   core::OptimizeOptions options;
   if (const auto it = args.options.find("solver"); it != args.options.end()) {
-    options.solver = solver_from_name(it->second);
+    options.solver = it->second;  // validated by the registry inside optimize
   }
   const core::Optimizer optimizer(network);
   const auto outcome = optimizer.optimize({}, options);
@@ -175,15 +172,82 @@ int run_similarity(const Arguments& args) {
   return 0;
 }
 
-void print_usage() {
-  std::cerr <<
-      R"(usage: icsdiv_cli <command> [flags]
+int run_batch(const Arguments& args) {
+  const runner::ScenarioGrid grid =
+      runner::ScenarioGrid::from_json(support::Json::parse(read_file(required(args, "grid"))));
+  const std::vector<runner::ScenarioSpec> specs = grid.expand();
+  require(!specs.empty(), "batch", "grid expands to zero scenarios");
+  // Fail on typos before any (potentially huge) workload gets built.
+  for (const std::string& solver : grid.solvers) {
+    if (!mrf::SolverRegistry::instance().contains(solver)) {
+      throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
+                            mrf::SolverRegistry::instance().names_joined(", ") + ")");
+    }
+  }
+  const auto recipes = runner::constraint_recipe_names();
+  for (const std::string& recipe : grid.constraints) {
+    if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
+      throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
+    }
+  }
 
-commands:
-  optimize    --catalog FILE --network FILE [--out FILE] [--solver trws|bp|icm|multilevel]
-  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
+  runner::BatchOptions options;
+  if (const auto it = args.options.find("threads"); it != args.options.end()) {
+    const std::string& value = it->second;
+    // Digits only: stoull alone would accept (and wrap) "-1".
+    if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+      throw InvalidArgument("bad --threads value: " + value);
+    }
+    try {
+      options.threads = std::stoull(value);
+    } catch (const std::out_of_range&) {
+      throw InvalidArgument("bad --threads value: " + value);
+    }
+  }
+  options.on_result = [](const runner::ScenarioResult&) { std::cerr << "." << std::flush; };
+
+  std::cerr << "running " << specs.size() << " scenarios (grid \"" << grid.name << "\")\n";
+  const runner::BatchRunner batch(options);
+  const runner::BatchReport report = batch.run(specs);
+  std::cerr << "\n" << specs.size() - report.failed_count() << "/" << specs.size()
+            << " scenarios succeeded on " << report.threads << " threads in "
+            << report.wall_seconds << " s\n";
+
+  support::TextTable table({"scenario", "solver", "constraints", "energy", "avg sim",
+                            "richness", "solve s", "status"});
+  for (const runner::ScenarioResult& r : report.results) {
+    table.add_row({r.name, r.solver, r.constraints,
+                   r.error.empty() ? support::TextTable::num(r.energy, 3) : "-",
+                   r.error.empty() ? support::TextTable::num(r.average_similarity, 4) : "-",
+                   r.error.empty() ? support::TextTable::num(r.normalized_richness, 3) : "-",
+                   r.error.empty() ? support::TextTable::num(r.solve_seconds, 3) : "-",
+                   r.error.empty() ? "ok" : r.error});
+  }
+  table.print(std::cout);
+
+  if (const auto it = args.options.find("csv"); it != args.options.end()) {
+    std::ofstream file(it->second);
+    if (!file) throw NotFound("cannot write file: " + it->second);
+    report.write_csv(file);
+    std::cerr << "wrote " << it->second << "\n";
+  }
+  if (const auto it = args.options.find("json"); it != args.options.end()) {
+    std::ofstream file(it->second);
+    if (!file) throw NotFound("cannot write file: " + it->second);
+    file << report.to_json().dump_pretty() << "\n";
+    std::cerr << "wrote " << it->second << "\n";
+  }
+  return report.failed_count() == 0 ? 0 : 2;
+}
+
+void print_usage() {
+  std::cerr << "usage: icsdiv_cli <command> [flags]\n\ncommands:\n"
+            << "  optimize    --catalog FILE --network FILE [--out FILE] [--solver "
+            << mrf::SolverRegistry::instance().names_joined() << "]\n"
+            << R"(  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
   report      --catalog FILE --network FILE --assignment FILE
   similarity  --feed FILE --cpe QUERY --cpe QUERY [--cpe QUERY ...]
+  batch       --grid FILE [--csv FILE] [--json FILE] [--threads N]
 )";
 }
 
@@ -196,12 +260,16 @@ int main(int argc, char** argv) {
     if (args.command == "evaluate") return run_evaluate(args);
     if (args.command == "report") return run_report(args);
     if (args.command == "similarity") return run_similarity(args);
+    if (args.command == "batch") return run_batch(args);
     throw InvalidArgument("unknown command: " + args.command);
   } catch (const InvalidArgument& error) {
     std::cerr << "error: " << error.what() << "\n\n";
     print_usage();
     return 1;
   } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;
   }

@@ -6,6 +6,9 @@
 #include "bayes/reliability.hpp"
 #include "bench_util.hpp"
 #include "core/optimizer.hpp"
+#include "mrf/bp.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/icm.hpp"
 #include "mrf/trws.hpp"
 #include "nvd/paper_tables.hpp"
 #include "sim/worm_sim.hpp"
@@ -43,6 +46,10 @@ void BM_SimilarityTableFromFeed(benchmark::State& state) {
 }
 BENCHMARK(BM_SimilarityTableFromFeed);
 
+// Solver-kernel benches share one instance shape: a connected random
+// network at average degree 16 with a single service, so hosts≈N gives
+// ≈8N MRF edges (1250 → 10k edges, 12500 → 100k edges, the README table's
+// rows).  Every counter reports edges processed per solver iteration.
 void BM_TrwsIteration(benchmark::State& state) {
   bench::ScalabilityParams params;
   params.hosts = static_cast<std::size_t>(state.range(0));
@@ -59,7 +66,59 @@ void BM_TrwsIteration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(problem.mrf().edge_count()));
 }
-BENCHMARK(BM_TrwsIteration)->Arg(200)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_TrwsIteration)->Arg(200)->Arg(1000)->Arg(1250)->Arg(4000)->Arg(12500);
+
+void BM_BpIteration(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = static_cast<std::size_t>(state.range(0));
+  params.average_degree = 16.0;
+  params.services = 1;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::DiversificationProblem problem(*instance.network);
+  const mrf::BpSolver solver;
+  mrf::SolveOptions options;
+  options.max_iterations = 1;  // one Jacobi pass + decode, single-threaded
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem.mrf(), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(problem.mrf().edge_count()));
+}
+BENCHMARK(BM_BpIteration)->Arg(200)->Arg(1250)->Arg(12500);
+
+void BM_IcmSweep(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = static_cast<std::size_t>(state.range(0));
+  params.average_degree = 16.0;
+  params.services = 1;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::DiversificationProblem problem(*instance.network);
+  const mrf::IcmSolver solver;
+  mrf::SolveOptions options;
+  options.max_iterations = 1;  // one coordinate-descent sweep
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem.mrf(), options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(problem.mrf().edge_count()));
+}
+BENCHMARK(BM_IcmSweep)->Arg(200)->Arg(1250)->Arg(12500);
+
+void BM_CompileMrf(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = static_cast<std::size_t>(state.range(0));
+  params.average_degree = 16.0;
+  params.services = 1;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::DiversificationProblem problem(*instance.network);
+  for (auto _ : state) {
+    const mrf::CompiledMrf compiled(problem.mrf());
+    benchmark::DoNotOptimize(compiled.message_size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(problem.mrf().edge_count()));
+}
+BENCHMARK(BM_CompileMrf)->Arg(1250)->Arg(12500);
 
 void BM_ReliabilityExact(benchmark::State& state) {
   // Ladder graph: series-parallel, the reducer solves it without factoring.

@@ -25,7 +25,10 @@ OptimizeOutcome Optimizer::optimize_problem(const DiversificationProblem& proble
     const mrf::DecomposedSolver decomposed(*base, options.parallel);
     solve_result = decomposed.solve(problem.mrf(), options.solve);
   } else {
-    solve_result = base->solve(problem.mrf(), options.solve);
+    // Whole-problem solves share the problem's cached compiled view, so a
+    // repeated optimize_problem call (solver comparisons, option sweeps)
+    // pays the CSR/transpose compilation once.
+    solve_result = base->solve_compiled(problem.compiled(), options.solve);
   }
 
   OptimizeOutcome outcome{problem.decode(solve_result.labels), std::move(solve_result), 0.0,

@@ -5,15 +5,17 @@
 
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace icsdiv::mrf {
 
 namespace {
 
-struct Incident {
-  std::uint32_t edge;
-  VariableId other;
-  bool i_is_u;
+/// Per-shard scratch: one aggregate and one reduced-aggregate buffer, both
+/// sized max_label_count, so no allocation happens inside the solve loop.
+struct Scratch {
+  std::vector<Cost> total;
+  std::vector<Cost> t;
 };
 
 }  // namespace
@@ -24,10 +26,23 @@ SolveResult BpSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
   return solve_bp(mrf, extended);
 }
 
+SolveResult BpSolver::solve_compiled(const CompiledMrf& compiled,
+                                     const SolveOptions& options) const {
+  BpOptions extended = defaults_;
+  static_cast<SolveOptions&>(extended) = options;
+  return solve_bp(compiled, extended);
+}
+
 SolveResult BpSolver::solve_bp(const Mrf& mrf, const BpOptions& options) const {
+  const CompiledMrf compiled(mrf);
+  return solve_bp(compiled, options);
+}
+
+SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& options) const {
   support::Stopwatch watch;
+  const Mrf& mrf = compiled.mrf();
   SolveResult result;
-  const std::size_t n = mrf.variable_count();
+  const std::size_t n = compiled.variable_count();
   result.labels.assign(n, 0);
   if (n == 0) {
     result.energy = 0;
@@ -35,44 +50,20 @@ SolveResult BpSolver::solve_bp(const Mrf& mrf, const BpOptions& options) const {
     return result;
   }
   require(options.damping >= 0.0 && options.damping < 1.0, "BpSolver", "damping must be in [0,1)");
+  require(options.decode_interval >= 1, "BpSolver", "decode_interval must be at least 1");
 
   // Tie-breaking perturbation of the unaries (see BpOptions); messages and
   // beliefs use the perturbed copy, final energies the true potentials.
-  std::vector<std::vector<Cost>> unaries(n);
-  {
+  std::vector<Cost> unaries(compiled.unary(0), compiled.unary(0) + compiled.unary_size());
+  if (options.symmetry_breaking > 0.0) {
     support::Rng noise(options.symmetry_breaking_seed);
-    for (VariableId i = 0; i < n; ++i) {
-      const auto original = mrf.unary(i);
-      unaries[i].assign(original.begin(), original.end());
-      if (options.symmetry_breaking > 0.0) {
-        for (Cost& cost : unaries[i]) cost += options.symmetry_breaking * noise.uniform();
-      }
-    }
+    for (Cost& cost : unaries) cost += options.symmetry_breaking * noise.uniform();
   }
 
-  // Incidence and message layout (same scheme as TRW-S: dir0 = u→v over
-  // v's labels, dir1 = v→u over u's labels).
-  std::vector<std::vector<Incident>> incident(n);
-  const auto edges = mrf.edges();
-  for (std::size_t e = 0; e < edges.size(); ++e) {
-    incident[edges[e].u].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].v, true});
-    incident[edges[e].v].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].u, false});
-  }
-  std::vector<std::size_t> offsets(edges.size() * 2 + 1, 0);
-  for (std::size_t e = 0; e < edges.size(); ++e) {
-    offsets[2 * e + 1] = offsets[2 * e] + mrf.label_count(edges[e].v);
-    offsets[2 * e + 2] = offsets[2 * e + 1] + mrf.label_count(edges[e].u);
-  }
-  std::vector<Cost> messages(offsets.back(), 0);
-  std::vector<Cost> next_messages(offsets.back(), 0);
-
-  const auto message_ptr = [&](std::vector<Cost>& store, std::size_t e,
-                               bool dir_u_to_v) -> Cost* {
-    return store.data() + offsets[2 * e + (dir_u_to_v ? 0 : 1)];
-  };
-
-  std::vector<Cost> belief(mrf.max_label_count());
-  std::vector<Cost> t(mrf.max_label_count());
+  // Double-buffered flat messages in the compiled layout: Jacobi reads
+  // `messages`, writes `next_messages`, and swaps.
+  std::vector<Cost> messages(compiled.message_size(), 0);
+  std::vector<Cost> next_messages(compiled.message_size(), 0);
 
   if (!options.initial_labels.empty()) {
     mrf.check_labeling(options.initial_labels);
@@ -80,77 +71,128 @@ SolveResult BpSolver::solve_bp(const Mrf& mrf, const BpOptions& options) const {
   }
   result.energy = mrf.energy(result.labels);
 
-  for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
-    // Synchronous (Jacobi) update of every directed message.
-    double max_delta = 0.0;
-    for (VariableId i = 0; i < n; ++i) {
-      const std::size_t count = mrf.label_count(i);
-      const auto& unary = unaries[i];
-      for (const Incident& out_edge : incident[i]) {
-        // Aggregate all incoming messages except the reverse of this one.
-        std::copy(unary.begin(), unary.end(), t.begin());
-        for (const Incident& in_edge : incident[i]) {
-          if (in_edge.edge == out_edge.edge) continue;
-          const Cost* msg = message_ptr(messages, in_edge.edge, !in_edge.i_is_u);
-          for (std::size_t x = 0; x < count; ++x) t[x] += msg[x];
-        }
-        const CostMatrix& m = mrf.matrix(edges[out_edge.edge].matrix);
-        Cost* out = message_ptr(next_messages, out_edge.edge, out_edge.i_is_u);
-        const std::size_t out_count = mrf.label_count(out_edge.other);
-        std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
-        if (out_edge.i_is_u) {
-          for (std::size_t xi = 0; xi < count; ++xi) {
-            const Cost* row = m.data.data() + xi * m.cols;
-            for (std::size_t xj = 0; xj < out_count; ++xj) {
-              out[xj] = std::min(out[xj], t[xi] + row[xj]);
-            }
-          }
-        } else {
-          for (std::size_t xj = 0; xj < out_count; ++xj) {
-            const Cost* row = m.data.data() + xj * m.cols;
-            Cost best = std::numeric_limits<Cost>::infinity();
-            for (std::size_t xi = 0; xi < count; ++xi) best = std::min(best, t[xi] + row[xi]);
-            out[xj] = best;
-          }
-        }
-        const Cost delta =
-            *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
-        const Cost* old = message_ptr(messages, out_edge.edge, out_edge.i_is_u);
+  // Variable shards: each directed message is written only by its source
+  // variable and each label only by its owner, so shard boundaries never
+  // change results — only which thread computes them.
+  support::ThreadPool* pool = nullptr;
+  std::size_t thread_count = options.threads;
+  if (thread_count != 1) {
+    pool = &support::global_thread_pool();
+    if (thread_count == 0) thread_count = pool->size();
+  }
+  const std::size_t shard_count = std::max<std::size_t>(1, std::min(n, thread_count));
+  std::vector<Scratch> scratch(shard_count);
+  for (Scratch& s : scratch) {
+    s.total.resize(compiled.max_label_count());
+    s.t.resize(compiled.max_label_count());
+  }
+  const auto shard_begin = [&](std::size_t s) { return s * n / shard_count; };
+
+  // One Jacobi update of every message out of variable i.  The aggregate
+  // (unary + all incoming messages) is computed once per variable, and each
+  // outgoing edge subtracts its own reverse message — O(deg·L) instead of
+  // the historical O(deg²·L) per-edge re-aggregation.
+  const auto update_variable = [&](VariableId i, Scratch& s, double& local_max) {
+    const std::size_t count = compiled.label_count(i);
+    const Cost* unary = unaries.data() + compiled.unary_offset(i);
+    Cost* total = s.total.data();
+    Cost* t = s.t.data();
+    std::copy(unary, unary + count, total);
+    const auto incidents = compiled.incident(i);
+    for (const CompiledIncident& in_edge : incidents) {
+      const Cost* msg = messages.data() + in_edge.msg_in;
+      for (std::size_t x = 0; x < count; ++x) total[x] += msg[x];
+    }
+    for (const CompiledIncident& out_edge : incidents) {
+      const Cost* reverse = messages.data() + out_edge.msg_in;
+      for (std::size_t x = 0; x < count; ++x) t[x] = total[x] - reverse[x];
+      const std::size_t out_count = compiled.label_count(out_edge.other);
+      Cost* out = next_messages.data() + out_edge.msg_out;
+      std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
+      for (std::size_t xi = 0; xi < count; ++xi) {
+        const Cost* row = out_edge.send + xi * out_count;
+        const Cost base = t[xi];
         for (std::size_t xj = 0; xj < out_count; ++xj) {
-          out[xj] -= delta;
-          out[xj] = options.damping * old[xj] + (1.0 - options.damping) * out[xj];
-          max_delta = std::max(max_delta, std::abs(out[xj] - old[xj]));
+          out[xj] = std::min(out[xj], base + row[xj]);
         }
       }
+      const Cost delta = *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
+      const Cost* old = messages.data() + out_edge.msg_out;
+      for (std::size_t xj = 0; xj < out_count; ++xj) {
+        out[xj] -= delta;
+        out[xj] = options.damping * old[xj] + (1.0 - options.damping) * out[xj];
+        local_max = std::max(local_max, std::abs(out[xj] - old[xj]));
+      }
     }
+  };
+
+  const auto decode_variable = [&](VariableId i, Scratch& s, std::vector<Label>& labels) {
+    const std::size_t count = compiled.label_count(i);
+    const Cost* unary = unaries.data() + compiled.unary_offset(i);
+    Cost* belief = s.total.data();
+    std::copy(unary, unary + count, belief);
+    for (const CompiledIncident& in_edge : compiled.incident(i)) {
+      const Cost* msg = messages.data() + in_edge.msg_in;
+      for (std::size_t x = 0; x < count; ++x) belief[x] += msg[x];
+    }
+    labels[i] = static_cast<Label>(std::min_element(belief, belief + count) - belief);
+  };
+
+  const auto run_shards = [&](const std::function<void(std::size_t)>& body) {
+    if (shard_count == 1 || pool == nullptr) {
+      for (std::size_t s = 0; s < shard_count; ++s) body(s);
+    } else {
+      pool->parallel_for(shard_count, body);
+    }
+  };
+
+  std::vector<double> shard_delta(shard_count, 0.0);
+  std::vector<Label> labels(n, 0);  // decode buffer, hoisted out of the loop
+
+  // The type-erased shard bodies are built once here — everything they
+  // capture is stable across iterations — so the solve loop allocates
+  // nothing, serial or sharded.
+  const std::function<void(std::size_t)> update_shard = [&](std::size_t s) {
+    double local_max = 0.0;
+    for (VariableId i = shard_begin(s); i < shard_begin(s + 1); ++i) {
+      update_variable(i, scratch[s], local_max);
+    }
+    shard_delta[s] = local_max;
+  };
+  const std::function<void(std::size_t)> decode_shard = [&](std::size_t s) {
+    for (VariableId i = shard_begin(s); i < shard_begin(s + 1); ++i) {
+      decode_variable(i, scratch[s], labels);
+    }
+  };
+
+  for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    run_shards(update_shard);
+    double max_delta = 0.0;
+    for (const double d : shard_delta) max_delta = std::max(max_delta, d);
     messages.swap(next_messages);
     result.iterations = iteration;
 
+    const bool converged_now = max_delta < options.tolerance;
+    const bool timed_out =
+        options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds;
+    const bool last = iteration == options.max_iterations;
+
     // Decode from beliefs and keep the best labeling seen (BP can cycle).
-    std::vector<Label> labels(n, 0);
-    for (VariableId i = 0; i < n; ++i) {
-      const std::size_t count = mrf.label_count(i);
-      const auto& unary = unaries[i];
-      std::copy(unary.begin(), unary.end(), belief.begin());
-      for (const Incident& in_edge : incident[i]) {
-        const Cost* msg = message_ptr(messages, in_edge.edge, !in_edge.i_is_u);
-        for (std::size_t x = 0; x < count; ++x) belief[x] += msg[x];
+    // The O(E) energy evaluation is amortised by decode_interval.
+    if (converged_now || timed_out || last || iteration % options.decode_interval == 0) {
+      run_shards(decode_shard);
+      const Cost energy = mrf.energy(labels);
+      if (energy < result.energy) {
+        result.energy = energy;
+        result.labels = labels;
       }
-      const auto begin = belief.begin();
-      const auto end = begin + static_cast<std::ptrdiff_t>(count);
-      labels[i] = static_cast<Label>(std::min_element(begin, end) - begin);
-    }
-    const Cost energy = mrf.energy(labels);
-    if (energy < result.energy) {
-      result.energy = energy;
-      result.labels = std::move(labels);
     }
 
-    if (max_delta < options.tolerance) {
+    if (converged_now) {
       result.converged = true;
       break;
     }
-    if (options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds) break;
+    if (timed_out) break;
   }
 
   result.seconds = watch.seconds();

@@ -1,0 +1,105 @@
+#include "mrf/compiled.hpp"
+
+#include <limits>
+
+namespace icsdiv::mrf {
+
+CompiledMrf::CompiledMrf(const Mrf& mrf) : mrf_(&mrf) {
+  const std::size_t n = mrf.variable_count();
+  const auto edges = mrf.edges();
+  const std::size_t edge_count = edges.size();
+
+  // Labels and contiguous unaries.
+  label_counts_.resize(n);
+  unary_offsets_.resize(n + 1);
+  max_labels_ = mrf.max_label_count();
+  std::size_t unary_total = 0;
+  for (VariableId v = 0; v < n; ++v) {
+    const std::size_t count = mrf.label_count(v);
+    label_counts_[v] = static_cast<std::uint32_t>(count);
+    unary_offsets_[v] = unary_total;
+    unary_total += count;
+  }
+  unary_offsets_[n] = unary_total;
+  unaries_.resize(unary_total);
+  for (VariableId v = 0; v < n; ++v) {
+    const auto source = mrf.unary(v);
+    std::copy(source.begin(), source.end(), unaries_.begin() +
+                                                static_cast<std::ptrdiff_t>(unary_offsets_[v]));
+  }
+
+  // Transposed copies of every shared matrix (trans[b * rows + a] = at(a, b))
+  // so the reverse orientation also reads row-major.
+  const std::size_t matrix_count = mrf.matrix_count();
+  transposed_offsets_.resize(matrix_count);
+  std::size_t transposed_total = 0;
+  for (MatrixId id = 0; id < matrix_count; ++id) {
+    transposed_offsets_[id] = transposed_total;
+    const CostMatrix& m = mrf.matrix(id);
+    transposed_total += m.rows * m.cols;
+  }
+  transposed_store_.resize(transposed_total);
+  for (MatrixId id = 0; id < matrix_count; ++id) {
+    const CostMatrix& m = mrf.matrix(id);
+    Cost* out = transposed_store_.data() + transposed_offsets_[id];
+    for (std::size_t a = 0; a < m.rows; ++a) {
+      const Cost* row = m.data.data() + a * m.cols;
+      for (std::size_t b = 0; b < m.cols; ++b) out[b * m.rows + a] = row[b];
+    }
+  }
+
+  // Per-edge resolved matrix pointers and the canonical message layout
+  // (dir 0 at 2e: u→v over v's labels; dir 1 at 2e+1: v→u over u's labels).
+  edge_forward_.resize(edge_count);
+  edge_transposed_.resize(edge_count);
+  message_offsets_.resize(edge_count * 2);
+  std::size_t message_total = 0;
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    const CostMatrix& m = mrf.matrix(edges[e].matrix);
+    edge_forward_[e] = m.data.data();
+    edge_transposed_[e] = transposed_store_.data() + transposed_offsets_[edges[e].matrix];
+    message_offsets_[2 * e] = static_cast<std::uint32_t>(message_total);
+    message_total += label_counts_[edges[e].v];
+    message_offsets_[2 * e + 1] = static_cast<std::uint32_t>(message_total);
+    message_total += label_counts_[edges[e].u];
+  }
+  message_size_ = message_total;
+  require(message_total <= std::numeric_limits<std::uint32_t>::max(), "CompiledMrf",
+          "flat message buffer exceeds 32-bit offsets");
+
+  // CSR incidence via counting sort over the edge list.  Filling in edge
+  // order reproduces the order the historical per-solve
+  // vector<vector<Incident>> builds produced, which keeps the refactored
+  // solvers' floating-point accumulation order — and therefore their
+  // results — bit-identical.
+  incident_offsets_.assign(n + 1, 0);
+  for (const MrfEdge& edge : edges) {
+    ++incident_offsets_[edge.u + 1];
+    ++incident_offsets_[edge.v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) incident_offsets_[v + 1] += incident_offsets_[v];
+  incidents_.resize(edge_count * 2);
+  std::vector<std::size_t> cursor(incident_offsets_.begin(), incident_offsets_.end() - 1);
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    const MrfEdge& edge = edges[e];
+    CompiledIncident& from_u = incidents_[cursor[edge.u]++];
+    from_u.edge = static_cast<std::uint32_t>(e);
+    from_u.other = edge.v;
+    from_u.i_is_u = 1;
+    from_u.send = edge_forward_[e];
+    from_u.recv = edge_transposed_[e];
+    from_u.msg_out = message_offsets_[2 * e];
+    from_u.msg_in = message_offsets_[2 * e + 1];
+
+    CompiledIncident& from_v = incidents_[cursor[edge.v]++];
+    from_v.edge = static_cast<std::uint32_t>(e);
+    from_v.other = edge.u;
+    from_v.i_is_u = 0;
+    from_v.send = edge_transposed_[e];
+    from_v.recv = edge_forward_[e];
+    from_v.msg_out = message_offsets_[2 * e + 1];
+    from_v.msg_in = message_offsets_[2 * e];
+  }
+}
+
+}  // namespace icsdiv::mrf

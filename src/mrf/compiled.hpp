@@ -1,0 +1,132 @@
+// CompiledMrf: a flat, solver-ready view of an Mrf, built once per model.
+//
+// Every message-passing and coordinate-descent solver needs the same
+// per-variable incidence walk and the same pairwise-matrix reads in both
+// edge orientations.  Before this view existed each solver rebuilt its own
+// `std::vector<std::vector<Incident>>` adjacency on every solve() and read
+// shared cost matrices column-strided for one of the two directions.  The
+// compiled view resolves all of it once:
+//
+//   * CSR incidence — one offset array plus a packed incident record per
+//     directed (variable, edge) pair, in the exact order the historical
+//     per-solve adjacency build produced (edge insertion order), so
+//     refactored solvers accumulate in the same floating-point order and
+//     stay bit-identical with the pre-compiled implementations.
+//   * Transposed matrix cache — one transposed copy per shared CostMatrix,
+//     so both message directions and the reverse-edge conditional scans
+//     (ICM, extraction, pair moves) read row-major.  Each incident record
+//     carries two resolved data pointers:
+//       send[xi * other_labels + xo] = θ_e(x_i = xi, x_other = xo)
+//       recv[xo * own_labels  + xi] = θ_e(x_other = xo, x_i = xi)
+//     (`send` drives min-convolutions towards the neighbour, `recv` gives a
+//     contiguous row for a fixed neighbour label.)
+//   * Contiguous unaries — one flat array with per-variable offsets.
+//   * Canonical message layout — the historical two-slots-per-edge scheme
+//     (dir 0: u→v over v's labels, dir 1: v→u over u's labels) as offsets
+//     into one flat buffer; incidents carry their own out/in offsets so
+//     kernels never touch the offset table.
+//
+// Lifetime: the view borrows the Mrf's matrix storage; the Mrf must outlive
+// the CompiledMrf and not be mutated while the view is in use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mrf/model.hpp"
+
+namespace icsdiv::mrf {
+
+/// One incident edge from the viewpoint of a fixed variable, fully resolved.
+struct CompiledIncident {
+  std::uint32_t edge = 0;   ///< parent edge index
+  VariableId other = 0;     ///< the neighbour variable
+  std::uint8_t i_is_u = 0;  ///< viewpoint variable is the edge's `u` end
+  /// θ over (own label, other label), row-major, rows contiguous over the
+  /// neighbour's labels: send[xi * label_count(other) + xo].
+  const Cost* send = nullptr;
+  /// θ over (other label, own label), row-major, rows contiguous over the
+  /// viewpoint's labels: recv[xo * label_count(i) + xi].
+  const Cost* recv = nullptr;
+  std::uint32_t msg_out = 0;  ///< flat offset of the message i → other
+  std::uint32_t msg_in = 0;   ///< flat offset of the message other → i
+};
+
+class CompiledMrf {
+ public:
+  explicit CompiledMrf(const Mrf& mrf);
+
+  // The incident records' send/recv pointers alias this object's own
+  // transposed store, so a memberwise copy would dangle once the source
+  // dies.  Moves are safe: vector moves keep their heap buffers alive.
+  CompiledMrf(const CompiledMrf&) = delete;
+  CompiledMrf& operator=(const CompiledMrf&) = delete;
+  CompiledMrf(CompiledMrf&&) noexcept = default;
+  CompiledMrf& operator=(CompiledMrf&&) noexcept = default;
+
+  [[nodiscard]] const Mrf& mrf() const noexcept { return *mrf_; }
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return label_counts_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return mrf_->edge_count(); }
+  [[nodiscard]] std::span<const MrfEdge> edges() const noexcept { return mrf_->edges(); }
+  [[nodiscard]] std::size_t label_count(VariableId v) const noexcept { return label_counts_[v]; }
+  [[nodiscard]] std::size_t max_label_count() const noexcept { return max_labels_; }
+
+  [[nodiscard]] std::span<const CompiledIncident> incident(VariableId v) const noexcept {
+    return {incidents_.data() + incident_offsets_[v],
+            incident_offsets_[v + 1] - incident_offsets_[v]};
+  }
+  [[nodiscard]] std::size_t degree(VariableId v) const noexcept {
+    return incident_offsets_[v + 1] - incident_offsets_[v];
+  }
+
+  /// Contiguous unary costs of `v` (label_count(v) entries).
+  [[nodiscard]] const Cost* unary(VariableId v) const noexcept {
+    return unaries_.data() + unary_offsets_[v];
+  }
+  [[nodiscard]] std::size_t unary_offset(VariableId v) const noexcept {
+    return unary_offsets_[v];
+  }
+  /// Total unary entries across all variables (Σ label_count).
+  [[nodiscard]] std::size_t unary_size() const noexcept { return unary_offsets_.back(); }
+
+  /// Row-major θ_e(x_u, x_v) of edge `e` (the shared matrix's data).
+  [[nodiscard]] const Cost* forward(std::size_t e) const noexcept { return edge_forward_[e]; }
+  /// Row-major θ_e(x_v, x_u) of edge `e` (the transposed cache).
+  [[nodiscard]] const Cost* transposed(std::size_t e) const noexcept {
+    return edge_transposed_[e];
+  }
+  /// Transposed copy of shared matrix `id`: trans[b * rows + a] = m.at(a, b).
+  [[nodiscard]] const Cost* transposed_matrix(MatrixId id) const noexcept {
+    return transposed_store_.data() + transposed_offsets_[id];
+  }
+
+  /// Total flat message slots (both directions of every edge).
+  [[nodiscard]] std::size_t message_size() const noexcept { return message_size_; }
+  /// Offset of the directed message of `edge` (dir 0: u→v over v's labels,
+  /// dir 1: v→u over u's labels).
+  [[nodiscard]] std::size_t message_offset(std::size_t edge, bool dir_u_to_v) const noexcept {
+    return message_offsets_[2 * edge + (dir_u_to_v ? 0 : 1)];
+  }
+
+ private:
+  const Mrf* mrf_;
+  std::vector<std::uint32_t> label_counts_;
+  std::size_t max_labels_ = 0;
+
+  std::vector<std::size_t> unary_offsets_;  ///< n+1 prefix sums
+  std::vector<Cost> unaries_;
+
+  std::vector<std::size_t> transposed_offsets_;  ///< per shared matrix
+  std::vector<Cost> transposed_store_;
+  std::vector<const Cost*> edge_forward_;
+  std::vector<const Cost*> edge_transposed_;
+
+  std::vector<std::size_t> incident_offsets_;  ///< n+1 CSR offsets
+  std::vector<CompiledIncident> incidents_;
+
+  std::vector<std::uint32_t> message_offsets_;  ///< 2E entries
+  std::size_t message_size_ = 0;
+};
+
+}  // namespace icsdiv::mrf

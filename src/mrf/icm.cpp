@@ -7,9 +7,16 @@
 namespace icsdiv::mrf {
 
 SolveResult IcmSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  const CompiledMrf compiled(mrf);
+  return solve_compiled(compiled, options);
+}
+
+SolveResult IcmSolver::solve_compiled(const CompiledMrf& compiled,
+                                      const SolveOptions& options) const {
   support::Stopwatch watch;
+  const Mrf& mrf = compiled.mrf();
   SolveResult result;
-  const std::size_t n = mrf.variable_count();
+  const std::size_t n = compiled.variable_count();
   result.labels.assign(n, 0);
   if (!options.initial_labels.empty()) {
     mrf.check_labeling(options.initial_labels);
@@ -21,8 +28,8 @@ SolveResult IcmSolver::solve(const Mrf& mrf, const SolveOptions& options) const 
     return result;
   }
 
-  std::vector<Cost> score(mrf.max_label_count());
-  const auto edges = mrf.edges();
+  std::vector<Cost> score_store(compiled.max_label_count());
+  Cost* score = score_store.data();
 
   bool changed = true;
   std::size_t iteration = 0;
@@ -30,24 +37,18 @@ SolveResult IcmSolver::solve(const Mrf& mrf, const SolveOptions& options) const 
     changed = false;
     ++iteration;
     for (VariableId i = 0; i < n; ++i) {
-      const std::size_t count = mrf.label_count(i);
-      const auto unary = mrf.unary(i);
-      std::copy(unary.begin(), unary.end(), score.begin());
-      for (std::size_t e : mrf.incident_edges()[i]) {
-        const MrfEdge& edge = edges[e];
-        const CostMatrix& m = mrf.matrix(edge.matrix);
-        if (edge.u == i) {
-          const Label other = result.labels[edge.v];
-          for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, other);
-        } else {
-          const Label other = result.labels[edge.u];
-          const Cost* row = m.data.data() + static_cast<std::size_t>(other) * m.cols;
-          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
-        }
+      const std::size_t count = compiled.label_count(i);
+      const Cost* unary = compiled.unary(i);
+      std::copy(unary, unary + count, score);
+      for (const CompiledIncident& in : compiled.incident(i)) {
+        // The neighbour's fixed label selects one contiguous row of the
+        // reverse-oriented matrix view (transposed cache when this end is
+        // `u`), replacing the historical column-strided m.at(x, other).
+        const Cost* row =
+            in.recv + static_cast<std::size_t>(result.labels[in.other]) * count;
+        for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
       }
-      const auto begin = score.begin();
-      const auto end = begin + static_cast<std::ptrdiff_t>(count);
-      const auto best = static_cast<Label>(std::min_element(begin, end) - begin);
+      const auto best = static_cast<Label>(std::min_element(score, score + count) - score);
       if (best != result.labels[i] && score[best] < score[result.labels[i]]) {
         result.labels[i] = best;
         changed = true;

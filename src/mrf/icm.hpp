@@ -15,6 +15,8 @@ class IcmSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "icm"; }
   [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+  [[nodiscard]] SolveResult solve_compiled(const CompiledMrf& compiled,
+                                           const SolveOptions& options) const override;
 };
 
 }  // namespace icsdiv::mrf

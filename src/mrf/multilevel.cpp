@@ -95,6 +95,13 @@ Level coarsen(const Mrf& fine, support::Rng& rng) {
 }  // namespace
 
 SolveResult MultilevelSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
+  const CompiledMrf compiled(mrf);
+  return solve_compiled(compiled, options);
+}
+
+SolveResult MultilevelSolver::solve_compiled(const CompiledMrf& compiled,
+                                             const SolveOptions& options) const {
+  const Mrf& mrf = compiled.mrf();
   support::Stopwatch watch;
   support::Rng rng(options_.seed);
 
@@ -115,7 +122,9 @@ SolveResult MultilevelSolver::solve(const Mrf& mrf, const SolveOptions& options)
   SolveResult coarse_result = base_.solve(*fine_chain.back(), options);
   std::vector<Label> labels = std::move(coarse_result.labels);
 
-  // Project back and refine with ICM sweeps at each finer level.
+  // Project back and refine with ICM sweeps at each finer level.  Each
+  // intermediate level is compiled once for its refinement pass; the finest
+  // level reuses the caller's compiled view.
   const IcmSolver refiner;
   for (std::size_t k = levels.size(); k-- > 0;) {
     const Mrf& fine = *fine_chain[k];
@@ -126,7 +135,13 @@ SolveResult MultilevelSolver::solve(const Mrf& mrf, const SolveOptions& options)
     SolveOptions refine_options;
     refine_options.max_iterations = options_.refine_iterations;
     refine_options.initial_labels = std::move(fine_labels);
-    SolveResult refined = refiner.solve(fine, refine_options);
+    SolveResult refined;
+    if (k == 0) {
+      refined = refiner.solve_compiled(compiled, refine_options);
+    } else {
+      const CompiledMrf fine_compiled(fine);
+      refined = refiner.solve_compiled(fine_compiled, refine_options);
+    }
     labels = std::move(refined.labels);
   }
 

@@ -34,6 +34,8 @@ class MultilevelSolver final : public Solver {
     return "multilevel(" + base_.name() + ")";
   }
   [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+  [[nodiscard]] SolveResult solve_compiled(const CompiledMrf& compiled,
+                                           const SolveOptions& options) const override;
 
  private:
   const Solver& base_;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "mrf/compiled.hpp"
 #include "mrf/model.hpp"
 
 namespace icsdiv::mrf {
@@ -43,6 +44,15 @@ class Solver {
 
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual SolveResult solve(const Mrf& mrf, const SolveOptions& options) const = 0;
+
+  /// Solves on an already-compiled view, skipping the per-solve compile for
+  /// callers that hold one (repeated solves of the same model, benches,
+  /// the multilevel refiner).  The default falls back to the Mrf path;
+  /// compiled-aware solvers override it.
+  [[nodiscard]] virtual SolveResult solve_compiled(const CompiledMrf& compiled,
+                                                   const SolveOptions& options) const {
+    return solve(compiled.mrf(), options);
+  }
 
   [[nodiscard]] SolveResult solve(const Mrf& mrf) const { return solve(mrf, SolveOptions{}); }
 };

@@ -10,22 +10,26 @@ namespace icsdiv::mrf {
 
 namespace {
 
-/// One incident edge from the viewpoint of a fixed variable.
-struct Incident {
-  std::uint32_t edge;
-  VariableId other;
-  bool i_is_u;  ///< true when the viewpoint variable is the edge's `u` end
-};
-
-/// Message storage and sweep machinery for one solve.
+/// Message storage and sweep machinery for one solve, running entirely on
+/// the flat CompiledMrf view: CSR incidence, per-incident resolved matrix
+/// pointers (row-major in both orientations via the transposed cache), and
+/// the canonical flat message layout.  All scratch buffers are allocated
+/// once here; the per-iteration loops are allocation-free.
 class Machine {
  public:
-  Machine(const Mrf& mrf) : mrf_(mrf), n_(mrf.variable_count()) {
-    build_incidence();
+  explicit Machine(const CompiledMrf& compiled)
+      : compiled_(compiled), n_(compiled.variable_count()) {
+    build_gamma();
     build_forest();
-    allocate_messages();
-    scratch_d_.resize(mrf_.max_label_count());
-    scratch_t_.resize(mrf_.max_label_count());
+    messages_.assign(compiled_.message_size(), Cost{0});
+    const std::size_t max_labels = compiled_.max_label_count();
+    scratch_d_.resize(max_labels);
+    scratch_t_.resize(max_labels);
+    score_.resize(max_labels);
+    fold_.resize(max_labels);
+    cost_u_.resize(max_labels);
+    cost_v_.resize(max_labels);
+    node_cost_.resize(n_ * max_labels);
   }
 
   /// One forward (`ascending=true`) or backward sweep.
@@ -50,35 +54,37 @@ class Machine {
   /// chains (the forest covers every edge), and tightens as TRW-S shifts
   /// mass onto the messages for loopy graphs.
   [[nodiscard]] Cost lower_bound() const {
-    const std::size_t max_labels = mrf_.max_label_count();
-    // θ'_i for every variable, flattened.
-    std::vector<Cost> node_cost(n_ * max_labels, 0);
+    const std::size_t max_labels = compiled_.max_label_count();
+    // θ'_i for every variable, flattened (buffer hoisted into the Machine).
+    std::fill(node_cost_.begin(), node_cost_.end(), Cost{0});
     for (VariableId i = 0; i < n_; ++i) {
-      Cost* d = node_cost.data() + static_cast<std::size_t>(i) * max_labels;
-      const auto unary = mrf_.unary(i);
-      std::copy(unary.begin(), unary.end(), d);
-      for (const Incident& in : incident_[i]) {
-        const Cost* msg = message_into(in);
-        for (std::size_t x = 0; x < unary.size(); ++x) d[x] += msg[x];
+      Cost* d = node_cost_.data() + static_cast<std::size_t>(i) * max_labels;
+      const std::size_t labels = compiled_.label_count(i);
+      const Cost* unary = compiled_.unary(i);
+      std::copy(unary, unary + labels, d);
+      for (const CompiledIncident& in : compiled_.incident(i)) {
+        const Cost* msg = messages_.data() + in.msg_in;
+        for (std::size_t x = 0; x < labels; ++x) d[x] += msg[x];
       }
     }
 
-    const auto edges = mrf_.edges();
-    const auto edge_cost = [&](std::size_t e, std::size_t a, std::size_t b) {
-      // θ'_e(x_u = a, x_v = b).
-      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
-      const Cost* to_v = message_ptr(e, /*dir_u_to_v=*/true);
-      const Cost* to_u = message_ptr(e, /*dir_u_to_v=*/false);
-      return m.at(a, b) - to_v[b] - to_u[a];
-    };
-
+    const auto edges = compiled_.edges();
     Cost bound = 0;
-    // Chord edges contribute their independent minima.
+    // Chord edges contribute their independent minima of
+    // θ'_e(a, b) = θ_e(a, b) − M_{u→v}[b] − M_{v→u}[a].
     for (std::size_t e : chord_edges_) {
-      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
+      const std::size_t rows = compiled_.label_count(edges[e].u);
+      const std::size_t cols = compiled_.label_count(edges[e].v);
+      const Cost* fwd = compiled_.forward(e);
+      const Cost* to_v = messages_.data() + compiled_.message_offset(e, /*dir_u_to_v=*/true);
+      const Cost* to_u = messages_.data() + compiled_.message_offset(e, /*dir_u_to_v=*/false);
       Cost best = std::numeric_limits<Cost>::infinity();
-      for (std::size_t a = 0; a < m.rows; ++a) {
-        for (std::size_t b = 0; b < m.cols; ++b) best = std::min(best, edge_cost(e, a, b));
+      for (std::size_t a = 0; a < rows; ++a) {
+        const Cost* row = fwd + a * cols;
+        const Cost tu = to_u[a];
+        for (std::size_t b = 0; b < cols; ++b) {
+          best = std::min(best, row[b] - to_v[b] - tu);
+        }
       }
       bound += best;
     }
@@ -86,11 +92,10 @@ class Machine {
     // Forest DP: children fold their subtree minima into the parent's
     // node costs; roots contribute their final minima.  forest_order_ is
     // a BFS order, so traversing it backwards visits children first.
-    std::vector<Cost> fold(max_labels);
     for (auto it = forest_order_.rbegin(); it != forest_order_.rend(); ++it) {
       const VariableId i = *it;
-      const std::size_t labels = mrf_.label_count(i);
-      Cost* d = node_cost.data() + static_cast<std::size_t>(i) * max_labels;
+      const std::size_t labels = compiled_.label_count(i);
+      Cost* d = node_cost_.data() + static_cast<std::size_t>(i) * max_labels;
       if (forest_parent_[i] == kNoParent) {
         bound += *std::min_element(d, d + static_cast<std::ptrdiff_t>(labels));
         continue;
@@ -98,17 +103,34 @@ class Machine {
       const VariableId parent = forest_parent_[i];
       const std::size_t e = forest_edge_[i];
       const bool i_is_u = edges[e].u == i;
-      const std::size_t parent_labels = mrf_.label_count(parent);
+      const std::size_t parent_labels = compiled_.label_count(parent);
+      const Cost* to_v = messages_.data() + compiled_.message_offset(e, /*dir_u_to_v=*/true);
+      const Cost* to_u = messages_.data() + compiled_.message_offset(e, /*dir_u_to_v=*/false);
+      // Rows contiguous over the child's labels in either orientation:
+      // i_is_u reads the transposed cache, otherwise the forward data.
+      const Cost* mat = i_is_u ? compiled_.transposed(e) : compiled_.forward(e);
       for (std::size_t xp = 0; xp < parent_labels; ++xp) {
+        const Cost* row = mat + xp * labels;
         Cost best = std::numeric_limits<Cost>::infinity();
-        for (std::size_t xi = 0; xi < labels; ++xi) {
-          const Cost pairwise = i_is_u ? edge_cost(e, xi, xp) : edge_cost(e, xp, xi);
-          best = std::min(best, d[xi] + pairwise);
+        if (i_is_u) {
+          // θ'(x_i, x_p) = θ(x_i, x_p) − M_{u→v}[x_p] − M_{v→u}[x_i]
+          const Cost tv = to_v[xp];
+          for (std::size_t xi = 0; xi < labels; ++xi) {
+            const Cost pairwise = row[xi] - tv - to_u[xi];
+            best = std::min(best, d[xi] + pairwise);
+          }
+        } else {
+          // θ'(x_p, x_i) = θ(x_p, x_i) − M_{u→v}[x_i] − M_{v→u}[x_p]
+          const Cost tu = to_u[xp];
+          for (std::size_t xi = 0; xi < labels; ++xi) {
+            const Cost pairwise = row[xi] - to_v[xi] - tu;
+            best = std::min(best, d[xi] + pairwise);
+          }
         }
-        fold[xp] = best;
+        fold_[xp] = best;
       }
-      Cost* parent_cost = node_cost.data() + static_cast<std::size_t>(parent) * max_labels;
-      for (std::size_t xp = 0; xp < parent_labels; ++xp) parent_cost[xp] += fold[xp];
+      Cost* parent_cost = node_cost_.data() + static_cast<std::size_t>(parent) * max_labels;
+      for (std::size_t xp = 0; xp < parent_labels; ++xp) parent_cost[xp] += fold_[xp];
     }
     return bound;
   }
@@ -117,29 +139,22 @@ class Machine {
   /// contribute their fixed labels, later ones their incoming messages.
   [[nodiscard]] std::vector<Label> extract() const {
     std::vector<Label> labels(n_, 0);
-    std::vector<Cost> score(mrf_.max_label_count());
+    Cost* score = score_.data();
     for (VariableId i = 0; i < n_; ++i) {
-      const std::size_t count = mrf_.label_count(i);
-      const auto unary = mrf_.unary(i);
-      std::copy(unary.begin(), unary.end(), score.begin());
-      for (const Incident& in : incident_[i]) {
+      const std::size_t count = compiled_.label_count(i);
+      const Cost* unary = compiled_.unary(i);
+      std::copy(unary, unary + count, score);
+      for (const CompiledIncident& in : compiled_.incident(i)) {
         if (in.other < i) {
-          const CostMatrix& m = mrf_.matrix(mrf_.edges()[in.edge].matrix);
-          const Label fixed = labels[in.other];
-          if (in.i_is_u) {
-            for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, fixed);
-          } else {
-            const Cost* row = m.data.data() + static_cast<std::size_t>(fixed) * m.cols;
-            for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
-          }
+          // recv row for the neighbour's fixed label is contiguous over x.
+          const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
+          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
         } else {
-          const Cost* msg = message_into(in);
+          const Cost* msg = messages_.data() + in.msg_in;
           for (std::size_t x = 0; x < count; ++x) score[x] += msg[x];
         }
       }
-      const auto begin = score.begin();
-      const auto end = begin + static_cast<std::ptrdiff_t>(count);
-      labels[i] = static_cast<Label>(std::min_element(begin, end) - begin);
+      labels[i] = static_cast<Label>(std::min_element(score, score + count) - score);
     }
     return labels;
   }
@@ -152,33 +167,37 @@ class Machine {
   /// to its cheapest edge.  Returns whether any labels changed.
   bool pair_sweep(std::vector<Label>& labels) const {
     bool changed = false;
-    const auto edges = mrf_.edges();
-    // Conditional cost of labeling variable i with x, excluding edge `skip`.
-    const auto conditional = [&](VariableId i, std::size_t x, std::size_t skip) {
-      Cost total = mrf_.unary(i)[x];
-      for (const Incident& in : incident_[i]) {
+    const auto edges = compiled_.edges();
+    // Conditional cost profile of variable i over all its labels, excluding
+    // edge `skip`: unary plus one contiguous recv row per other incident
+    // edge — O(deg·L) for the whole profile instead of per-label scans.
+    const auto conditional_profile = [&](VariableId i, std::size_t skip, Cost* profile) {
+      const std::size_t count = compiled_.label_count(i);
+      const Cost* unary = compiled_.unary(i);
+      std::copy(unary, unary + count, profile);
+      for (const CompiledIncident& in : compiled_.incident(i)) {
         if (in.edge == skip) continue;
-        const CostMatrix& m = mrf_.matrix(edges[in.edge].matrix);
-        total += in.i_is_u ? m.at(x, labels[in.other]) : m.at(labels[in.other], x);
+        const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
+        for (std::size_t x = 0; x < count; ++x) profile[x] += row[x];
       }
-      return total;
     };
-    std::vector<Cost> cost_u(mrf_.max_label_count());
-    std::vector<Cost> cost_v(mrf_.max_label_count());
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const VariableId u = edges[e].u;
       const VariableId v = edges[e].v;
-      const CostMatrix& m = mrf_.matrix(edges[e].matrix);
-      // Precompute both conditional profiles once: O(L·deg) per edge.
-      for (std::size_t a = 0; a < m.rows; ++a) cost_u[a] = conditional(u, a, e);
-      for (std::size_t b = 0; b < m.cols; ++b) cost_v[b] = conditional(v, b, e);
-      Cost best = cost_u[labels[u]] + cost_v[labels[v]] + m.at(labels[u], labels[v]);
+      const std::size_t rows = compiled_.label_count(u);
+      const std::size_t cols = compiled_.label_count(v);
+      const Cost* fwd = compiled_.forward(e);
+      conditional_profile(u, e, cost_u_.data());
+      conditional_profile(v, e, cost_v_.data());
+      Cost best = cost_u_[labels[u]] + cost_v_[labels[v]] +
+                  fwd[static_cast<std::size_t>(labels[u]) * cols + labels[v]];
       Label best_u = labels[u];
       Label best_v = labels[v];
-      for (std::size_t a = 0; a < m.rows; ++a) {
-        const Cost* row = m.data.data() + a * m.cols;
-        for (std::size_t b = 0; b < m.cols; ++b) {
-          const Cost joint = cost_u[a] + cost_v[b] + row[b];
+      for (std::size_t a = 0; a < rows; ++a) {
+        const Cost* row = fwd + a * cols;
+        const Cost base = cost_u_[a];
+        for (std::size_t b = 0; b < cols; ++b) {
+          const Cost joint = base + cost_v_[b] + row[b];
           if (joint + 1e-12 < best) {
             best = joint;
             best_u = static_cast<Label>(a);
@@ -200,25 +219,16 @@ class Machine {
   /// rounding can leave single-variable improvements on the table.
   bool icm_sweep(std::vector<Label>& labels) const {
     bool changed = false;
-    std::vector<Cost> score(mrf_.max_label_count());
-    const auto edges = mrf_.edges();
+    Cost* score = score_.data();
     for (VariableId i = 0; i < n_; ++i) {
-      const std::size_t count = mrf_.label_count(i);
-      const auto unary = mrf_.unary(i);
-      std::copy(unary.begin(), unary.end(), score.begin());
-      for (const Incident& in : incident_[i]) {
-        const CostMatrix& m = mrf_.matrix(edges[in.edge].matrix);
-        const Label other = labels[in.other];
-        if (in.i_is_u) {
-          for (std::size_t x = 0; x < count; ++x) score[x] += m.at(x, other);
-        } else {
-          const Cost* row = m.data.data() + static_cast<std::size_t>(other) * m.cols;
-          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
-        }
+      const std::size_t count = compiled_.label_count(i);
+      const Cost* unary = compiled_.unary(i);
+      std::copy(unary, unary + count, score);
+      for (const CompiledIncident& in : compiled_.incident(i)) {
+        const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
+        for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
       }
-      const auto begin = score.begin();
-      const auto end = begin + static_cast<std::ptrdiff_t>(count);
-      const auto best = static_cast<Label>(std::min_element(begin, end) - begin);
+      const auto best = static_cast<Label>(std::min_element(score, score + count) - score);
       if (best != labels[i] && score[best] < score[labels[i]]) {
         labels[i] = best;
         changed = true;
@@ -228,18 +238,12 @@ class Machine {
   }
 
  private:
-  void build_incidence() {
-    incident_.resize(n_);
+  void build_gamma() {
     gamma_.assign(n_, 1.0);
-    const auto edges = mrf_.edges();
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      incident_[edges[e].u].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].v, true});
-      incident_[edges[e].v].push_back(Incident{static_cast<std::uint32_t>(e), edges[e].u, false});
-    }
     for (VariableId i = 0; i < n_; ++i) {
       std::size_t later = 0;
       std::size_t earlier = 0;
-      for (const Incident& in : incident_[i]) {
+      for (const CompiledIncident& in : compiled_.incident(i)) {
         (in.other > i ? later : earlier) += 1;
       }
       const std::size_t denom = std::max(later, earlier);
@@ -253,7 +257,7 @@ class Machine {
     forest_parent_.assign(n_, kNoParent);
     forest_edge_.assign(n_, 0);
     std::vector<bool> visited(n_, false);
-    std::vector<bool> edge_in_forest(mrf_.edge_count(), false);
+    std::vector<bool> edge_in_forest(compiled_.edge_count(), false);
     forest_order_.clear();
     forest_order_.reserve(n_);
     for (VariableId seed = 0; seed < n_; ++seed) {
@@ -263,7 +267,7 @@ class Machine {
       forest_order_.push_back(seed);
       while (frontier_begin < forest_order_.size()) {
         const VariableId u = forest_order_[frontier_begin++];
-        for (const Incident& in : incident_[u]) {
+        for (const CompiledIncident& in : compiled_.incident(u)) {
           if (visited[in.other]) continue;
           visited[in.other] = true;
           forest_parent_[in.other] = u;
@@ -274,80 +278,43 @@ class Machine {
       }
     }
     chord_edges_.clear();
-    for (std::size_t e = 0; e < mrf_.edge_count(); ++e) {
+    for (std::size_t e = 0; e < compiled_.edge_count(); ++e) {
       if (!edge_in_forest[e]) chord_edges_.push_back(e);
     }
-  }
-
-  void allocate_messages() {
-    const auto edges = mrf_.edges();
-    offsets_.resize(edges.size() * 2 + 1);
-    offsets_[0] = 0;
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      // dir 0 (index 2e):   u→v, defined over v's labels
-      // dir 1 (index 2e+1): v→u, defined over u's labels
-      offsets_[2 * e + 1] = offsets_[2 * e] + mrf_.label_count(edges[e].v);
-      offsets_[2 * e + 2] = offsets_[2 * e + 1] + mrf_.label_count(edges[e].u);
-    }
-    messages_.assign(offsets_.back(), Cost{0});
-  }
-
-  [[nodiscard]] const Cost* message_ptr(std::size_t edge, bool dir_u_to_v) const {
-    return messages_.data() + offsets_[2 * edge + (dir_u_to_v ? 0 : 1)];
-  }
-  [[nodiscard]] Cost* message_ptr(std::size_t edge, bool dir_u_to_v) {
-    return messages_.data() + offsets_[2 * edge + (dir_u_to_v ? 0 : 1)];
-  }
-
-  /// Message flowing *into* the viewpoint variable of `in`.
-  [[nodiscard]] const Cost* message_into(const Incident& in) const {
-    // If the viewpoint is u, the incoming message is v→u (dir 1).
-    return message_ptr(in.edge, /*dir_u_to_v=*/!in.i_is_u);
   }
 
   /// Processes variable i in a sweep: aggregates θ̂_i, then updates the
   /// messages towards neighbours on the sweep's leading side.
   void process(VariableId i, bool send_to_later) {
-    const std::size_t count = mrf_.label_count(i);
+    const std::size_t count = compiled_.label_count(i);
     Cost* d = scratch_d_.data();
-    const auto unary = mrf_.unary(i);
-    std::copy(unary.begin(), unary.end(), d);
-    for (const Incident& in : incident_[i]) {
-      const Cost* msg = message_into(in);
+    const Cost* unary = compiled_.unary(i);
+    std::copy(unary, unary + count, d);
+    const auto incidents = compiled_.incident(i);
+    for (const CompiledIncident& in : incidents) {
+      const Cost* msg = messages_.data() + in.msg_in;
       for (std::size_t x = 0; x < count; ++x) d[x] += msg[x];
     }
     const double gamma = gamma_[i];
 
-    for (const Incident& in : incident_[i]) {
+    for (const CompiledIncident& in : incidents) {
       const bool is_later = in.other > i;
       if (is_later != send_to_later) continue;
 
-      const CostMatrix& m = mrf_.matrix(mrf_.edges()[in.edge].matrix);
-      const Cost* reverse = message_into(in);  // M_{j→i}
+      const Cost* reverse = messages_.data() + in.msg_in;  // M_{j→i}
       Cost* t = scratch_t_.data();
       for (std::size_t x = 0; x < count; ++x) t[x] = gamma * d[x] - reverse[x];
 
-      Cost* out = message_ptr(in.edge, /*dir_u_to_v=*/in.i_is_u);
-      const std::size_t out_count = mrf_.label_count(in.other);
+      Cost* out = messages_.data() + in.msg_out;
+      const std::size_t out_count = compiled_.label_count(in.other);
       std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
-      if (in.i_is_u) {
-        // θ(x_i, x_j) = m.at(x_i, x_j): row per x_i is contiguous over x_j.
-        for (std::size_t xi = 0; xi < count; ++xi) {
-          const Cost* row = m.data.data() + xi * m.cols;
-          const Cost base = t[xi];
-          for (std::size_t xj = 0; xj < out_count; ++xj) {
-            out[xj] = std::min(out[xj], base + row[xj]);
-          }
-        }
-      } else {
-        // θ(x_i, x_j) = m.at(x_j, x_i): row per x_j is contiguous over x_i.
+      // `send` rows are contiguous over the neighbour's labels in both
+      // orientations (transposed cache), so one kernel covers both.
+      for (std::size_t xi = 0; xi < count; ++xi) {
+        const Cost* row = in.send + xi * out_count;
+        const Cost base = t[xi];
         for (std::size_t xj = 0; xj < out_count; ++xj) {
-          const Cost* row = m.data.data() + xj * m.cols;
-          Cost best = std::numeric_limits<Cost>::infinity();
-          for (std::size_t xi = 0; xi < count; ++xi) {
-            best = std::min(best, t[xi] + row[xi]);
-          }
-          out[xj] = best;
+          out[xj] = std::min(out[xj], base + row[xj]);
         }
       }
       // Normalise to min 0 to keep message magnitudes bounded.
@@ -359,14 +326,19 @@ class Machine {
 
   static constexpr VariableId kNoParent = static_cast<VariableId>(-1);
 
-  const Mrf& mrf_;
+  const CompiledMrf& compiled_;
   const std::size_t n_;
-  std::vector<std::vector<Incident>> incident_;
   std::vector<double> gamma_;
-  std::vector<std::size_t> offsets_;
   std::vector<Cost> messages_;
   std::vector<Cost> scratch_d_;
   std::vector<Cost> scratch_t_;
+  // Per-call scratch hoisted out of the iteration loops (mutable: the
+  // queries are logically const).
+  mutable std::vector<Cost> score_;
+  mutable std::vector<Cost> fold_;
+  mutable std::vector<Cost> cost_u_;
+  mutable std::vector<Cost> cost_v_;
+  mutable std::vector<Cost> node_cost_;
   // Spanning forest for the lower bound (see lower_bound()).
   std::vector<VariableId> forest_parent_;
   std::vector<std::size_t> forest_edge_;   ///< edge to parent, per non-root
@@ -382,8 +354,22 @@ SolveResult TrwsSolver::solve(const Mrf& mrf, const SolveOptions& options) const
   return solve_trws(mrf, extended);
 }
 
+SolveResult TrwsSolver::solve_compiled(const CompiledMrf& compiled,
+                                       const SolveOptions& options) const {
+  TrwsOptions extended = defaults_;
+  static_cast<SolveOptions&>(extended) = options;
+  return solve_trws(compiled, extended);
+}
+
 SolveResult TrwsSolver::solve_trws(const Mrf& mrf, const TrwsOptions& options) const {
+  const CompiledMrf compiled(mrf);
+  return solve_trws(compiled, options);
+}
+
+SolveResult TrwsSolver::solve_trws(const CompiledMrf& compiled,
+                                   const TrwsOptions& options) const {
   support::Stopwatch watch;
+  const Mrf& mrf = compiled.mrf();
   SolveResult result;
   result.labels.assign(mrf.variable_count(), 0);
   if (mrf.variable_count() == 0) {
@@ -399,7 +385,7 @@ SolveResult TrwsSolver::solve_trws(const Mrf& mrf, const TrwsOptions& options) c
   }
   result.energy = mrf.energy(result.labels);
 
-  Machine machine(mrf);
+  Machine machine(compiled);
   Cost previous_bound = -std::numeric_limits<Cost>::infinity();
 
   for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {

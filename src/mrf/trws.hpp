@@ -39,9 +39,13 @@ class TrwsSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "trws"; }
   [[nodiscard]] SolveResult solve(const Mrf& mrf, const SolveOptions& options) const override;
+  [[nodiscard]] SolveResult solve_compiled(const CompiledMrf& compiled,
+                                           const SolveOptions& options) const override;
 
-  /// Extended entry point exposing TRW-S-specific options.
+  /// Extended entry points exposing TRW-S-specific options.
   [[nodiscard]] SolveResult solve_trws(const Mrf& mrf, const TrwsOptions& options) const;
+  [[nodiscard]] SolveResult solve_trws(const CompiledMrf& compiled,
+                                       const TrwsOptions& options) const;
 
  private:
   TrwsOptions defaults_;

@@ -39,9 +39,23 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::contains_current_thread() const noexcept {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
-  if (count == 1 || size() == 1) {
+  // Nested use: a worker of this pool calling parallel_for would submit
+  // shard tasks and then block on their futures while occupying the very
+  // worker needed to run them — with every worker nested, a permanent
+  // deadlock (e.g. a sharded solver inside DecomposedSolver's component
+  // fan-out).  Degrade to inline execution instead; callers are required
+  // to produce identical results at any parallelism anyway.
+  if (count == 1 || size() == 1 || contains_current_thread()) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

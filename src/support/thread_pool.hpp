@@ -45,8 +45,13 @@ class ThreadPool {
     return future;
   }
 
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool contains_current_thread() const noexcept;
+
   /// Runs `body(i)` for i in [0, count) across the pool and waits for all.
-  /// Exceptions from any iteration are rethrown (first one wins).
+  /// Exceptions from any iteration are rethrown (first one wins).  Called
+  /// from one of the pool's own workers it runs inline instead (blocking a
+  /// worker on tasks queued behind itself would deadlock).
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
  private:

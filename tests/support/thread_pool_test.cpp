@@ -79,6 +79,26 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   EXPECT_EQ(future.get(), 1);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A worker calling parallel_for on its own pool would block on futures
+  // whose tasks are queued behind it; the pool must detect the nesting and
+  // run the body inline.  Without that this test hangs with both workers
+  // blocked.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(2, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, ContainsCurrentThread) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.contains_current_thread());
+  auto future = pool.submit([&pool] { return pool.contains_current_thread(); });
+  EXPECT_TRUE(future.get());
+}
+
 TEST(ThreadPool, ManyTasksDrainCompletely) {
   ThreadPool pool(3);
   std::atomic<int> sum{0};

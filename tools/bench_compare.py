@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    bench_compare.py CURRENT.json BASELINE.json [--threshold 0.10] [--gate]
+
+Prints a per-benchmark table of baseline vs current real time and flags
+regressions slower than --threshold (default 10%).  Regressions are emitted
+as GitHub Actions `::warning` annotations so they show up on the workflow
+run next to the uploaded artifact.  The exit code is always 0 unless
+--gate is passed (the CI step is intentionally non-gating: committed
+baselines come from a developer machine, so cross-machine deltas are
+informational; refresh the baseline with --update when kernels change).
+
+    bench_compare.py CURRENT.json BASELINE.json --update   # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for the aggregate-free entries."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    result = {}
+    for entry in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) from repeated runs.
+        if entry.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+        if unit is None:
+            continue
+        result[entry["name"]] = float(entry["real_time"]) * unit
+    return result
+
+
+def format_ns(value_ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if value_ns >= scale:
+            return f"{value_ns / scale:.2f} {unit}"
+    return f"{value_ns:.0f} ns"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced google-benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON (bench/baselines/)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown flagged as a regression (default 0.10)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero when regressions are found")
+    parser.add_argument("--update", action="store_true",
+                        help="copy CURRENT over BASELINE and exit")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+
+    shared = [name for name in baseline if name in current]
+    missing = [name for name in baseline if name not in current]
+    added = [name for name in current if name not in baseline]
+
+    width = max((len(name) for name in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
+    regressions = []
+    for name in shared:
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  improved"
+        print(f"{name:<{width}}  {format_ns(old):>10}  {format_ns(new):>10}"
+              f"  {delta:>+7.1%}{marker}")
+
+    for name in missing:
+        print(f"{name:<{width}}  {format_ns(baseline[name]):>10}  {'MISSING':>10}")
+    for name in added:
+        print(f"{name:<{width}}  {'(new)':>10}  {format_ns(current[name]):>10}")
+
+    for name, delta in regressions:
+        # GitHub Actions annotation; a plain line everywhere else.
+        print(f"::warning title=bench regression::{name} is {delta:+.1%} vs baseline "
+              f"(threshold {args.threshold:.0%}, non-gating)")
+
+    if regressions:
+        print(f"{len(regressions)} regression(s) > {args.threshold:.0%}", file=sys.stderr)
+        if args.gate:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -166,6 +166,24 @@ void BM_WormTick(benchmark::State& state) {
 }
 BENCHMARK(BM_WormTick);
 
+void BM_Mttc(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = 500;
+  params.average_degree = 10.0;
+  params.services = 3;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  const auto assignment = optimizer.optimize().assignment;
+  const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.mttc(0, 499, runs, /*seed=*/11, /*parallel=*/false));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_Mttc)->Arg(64)->Arg(256);
+
 void BM_JsonParseFeed(benchmark::State& state) {
   const nvd::OverlapSpec spec = nvd::browser_table_spec();
   const std::string text = nvd::generate_feed(spec).to_json().dump();

@@ -2,9 +2,13 @@
 
 namespace icsdiv::bayes {
 
-std::vector<Channel> similarity_channels(const core::Assignment& assignment, core::HostId u,
-                                         core::HostId v, const PropagationModel& model) {
-  std::vector<Channel> channels;
+namespace {
+
+/// Visits each u→v similarity channel as (service, success_probability),
+/// in the shared-service order of `network.services_of(u)`.
+template <typename Visitor>
+void for_each_channel(const core::Assignment& assignment, core::HostId u, core::HostId v,
+                      const PropagationModel& model, Visitor&& visit) {
   const core::Network& network = assignment.network();
   const core::ProductCatalog& catalog = network.catalog();
   for (const core::ServiceInstance& instance : network.services_of(u)) {
@@ -13,18 +17,38 @@ std::vector<Channel> similarity_channels(const core::Assignment& assignment, cor
     const auto product_v = assignment.product_of(v, instance.service);
     if (!product_u || !product_v) continue;
     const double sim = catalog.similarity(*product_u, *product_v);
-    channels.push_back(Channel{instance.service, model.similarity_weight * sim});
+    visit(instance.service, model.similarity_weight * sim);
   }
+}
+
+}  // namespace
+
+std::vector<Channel> similarity_channels(const core::Assignment& assignment, core::HostId u,
+                                         core::HostId v, const PropagationModel& model) {
+  std::vector<Channel> channels;
+  for_each_channel(assignment, u, v, model, [&](core::ServiceId service, double probability) {
+    channels.push_back(Channel{service, probability});
+  });
   return channels;
+}
+
+std::size_t append_similarity_probabilities(const core::Assignment& assignment, core::HostId u,
+                                            core::HostId v, const PropagationModel& model,
+                                            std::vector<double>& out) {
+  std::size_t appended = 0;
+  for_each_channel(assignment, u, v, model, [&](core::ServiceId, double probability) {
+    out.push_back(probability);
+    ++appended;
+  });
+  return appended;
 }
 
 double edge_infection_rate(const core::Assignment& assignment, core::HostId u, core::HostId v,
                            const PropagationModel& model) {
   if (!model.consider_similarity) return model.p_avg;
   double miss = 1.0 - model.p_avg;
-  for (const Channel& channel : similarity_channels(assignment, u, v, model)) {
-    miss *= 1.0 - channel.success_probability;
-  }
+  for_each_channel(assignment, u, v, model,
+                   [&](core::ServiceId, double probability) { miss *= 1.0 - probability; });
   return 1.0 - miss;
 }
 

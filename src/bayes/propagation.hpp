@@ -51,6 +51,13 @@ struct Channel {
                                                        core::HostId u, core::HostId v,
                                                        const PropagationModel& model);
 
+/// Allocation-free bulk variant for channel-table builds (the simulator's
+/// compiled substrate): appends each u→v channel's success probability to
+/// `out`, in `similarity_channels` order, and returns how many were added.
+std::size_t append_similarity_probabilities(const core::Assignment& assignment, core::HostId u,
+                                            core::HostId v, const PropagationModel& model,
+                                            std::vector<double>& out);
+
 /// Noisy-OR edge infection rate r(u, v) under the model.
 [[nodiscard]] double edge_infection_rate(const core::Assignment& assignment, core::HostId u,
                                          core::HostId v, const PropagationModel& model);

@@ -2,12 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <thread>
+#include <tuple>
 
 #include "core/metrics.hpp"
 #include "core/optimizer.hpp"
+#include "sim/worm_sim.hpp"
 #include "support/csv.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -35,6 +38,56 @@ std::size_t resolve_threads(std::size_t requested) {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+sim::SimulationParams attack_params(const AttackSpec& attack) {
+  sim::SimulationParams params;
+  if (attack.strategy == "sophisticated") {
+    params.strategy = sim::AttackerStrategy::Sophisticated;
+  } else if (attack.strategy == "uniform") {
+    params.strategy = sim::AttackerStrategy::Uniform;
+  } else {
+    throw InvalidArgument("unknown attacker strategy: " + attack.strategy +
+                          " (known: sophisticated, uniform)");
+  }
+  params.detection_probability = attack.detection;
+  params.max_ticks = attack.max_ticks;
+  return params;
+}
+
+/// Runs the spec's attack block on the solved assignment, aggregating MTTC
+/// over the entry hosts into `result` (deterministic given the spec).
+void run_attack(const AttackSpec& attack, const core::Assignment& assignment, bool parallel,
+                ScenarioResult& result) {
+  require(!attack.entries.empty(), "run_attack", "attack block needs at least one entry");
+  require(attack.runs > 0, "run_attack", "attack block needs at least one run");
+  result.attacked = true;
+
+  support::Stopwatch watch;
+  const sim::WormSimulator simulator(assignment, attack_params(attack));
+  double mean_sum = 0.0;
+  double uncensored_sum = 0.0;
+  std::size_t uncensored_runs = 0;
+  for (std::size_t e = 0; e < attack.entries.size(); ++e) {
+    // Distinct deterministic seed per entry — sim::run_mttc_grid's
+    // historical per-entry formula.
+    const std::uint64_t entry_seed = attack.seed + 1000003ULL * e;
+    const sim::MttcResult mttc = simulator.mttc(attack.entries[e], attack.target, attack.runs,
+                                                entry_seed, parallel);
+    mean_sum += mttc.mean;
+    result.mttc_censored += mttc.censored;
+    const std::size_t reached = attack.runs - mttc.censored;
+    if (reached > 0) {
+      uncensored_sum += mttc.uncensored_mean * static_cast<double>(reached);
+      uncensored_runs += reached;
+    }
+  }
+  result.mttc_runs = attack.runs * attack.entries.size();
+  result.mttc_mean = mean_sum / static_cast<double>(attack.entries.size());
+  result.mttc_uncensored_mean = uncensored_runs > 0
+                                    ? uncensored_sum / static_cast<double>(uncensored_runs)
+                                    : std::numeric_limits<double>::quiet_NaN();
+  result.attack_seconds = watch.seconds();
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_parallel) {
@@ -47,6 +100,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_
   result.solver = spec.solver;
   result.constraints = spec.constraints;
   result.seed = spec.seed;
+  if (spec.attack) {
+    // Axis echo like solver/constraints: spec-derived, so a failed cell
+    // still lands in its (strategy, detection) aggregate group.
+    result.attack_strategy = spec.attack->strategy;
+    result.attack_detection = spec.attack->detection;
+  }
   try {
     WorkloadParams workload = spec.workload;
     workload.seed = spec.seed;  // the scenario seed is the cell's RNG stream
@@ -80,6 +139,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_
     result.total_similarity = outcome.pairwise_similarity;
     result.average_similarity = core::average_edge_similarity(outcome.assignment);
     result.normalized_richness = core::normalized_effective_richness(outcome.assignment);
+
+    if (spec.attack) {
+      run_attack(*spec.attack, outcome.assignment, options.parallel, result);
+    }
   } catch (const std::exception& error) {
     result.error = error.what();
   }
@@ -145,8 +208,11 @@ void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
       "links",       "variables",  "energy",           "lower_bound",
       "iterations",  "converged",  "satisfied",        "total_similarity",
       "avg_similarity", "richness"};
+  // Attack columns stay empty for solve-only cells.
+  header.insert(header.end(), {"attack_strategy", "attack_detection", "mttc_mean",
+                               "mttc_uncensored_mean", "mttc_censored", "mttc_runs"});
   if (include_timings) {
-    header.insert(header.end(), {"build_seconds", "solve_seconds"});
+    header.insert(header.end(), {"build_seconds", "solve_seconds", "attack_seconds"});
   }
   header.push_back("error");
   writer.write_row(header);
@@ -170,9 +236,22 @@ void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
         format_double(r.total_similarity),
         format_double(r.average_similarity),
         format_double(r.normalized_richness)};
+    if (r.attacked) {
+      row.insert(row.end(),
+                 {r.attack_strategy, format_double(r.attack_detection),
+                  format_double(r.mttc_mean), format_double(r.mttc_uncensored_mean),
+                  std::to_string(r.mttc_censored), std::to_string(r.mttc_runs)});
+    } else if (!r.attack_strategy.empty()) {
+      // Failed attack cell: echo the axes, leave the metrics empty.
+      row.insert(row.end(), {r.attack_strategy, format_double(r.attack_detection)});
+      row.insert(row.end(), 4, "");
+    } else {
+      row.insert(row.end(), 6, "");
+    }
     if (include_timings) {
       row.push_back(format_double(r.build_seconds));
       row.push_back(format_double(r.solve_seconds));
+      row.push_back(r.attacked ? format_double(r.attack_seconds) : "");
     }
     row.push_back(r.error);
     writer.write_row(row);
@@ -212,14 +291,27 @@ support::Json BatchReport::to_json() const {
     cell.set("total_similarity", json_number(r.total_similarity));
     cell.set("avg_similarity", json_number(r.average_similarity));
     cell.set("richness", json_number(r.normalized_richness));
+    if (r.attacked) {
+      support::JsonObject attack;
+      attack.set("strategy", r.attack_strategy);
+      attack.set("detection", r.attack_detection);
+      attack.set("runs", r.mttc_runs);
+      attack.set("mttc_mean", json_number(r.mttc_mean));
+      // null when every run censored (NaN has no JSON literal).
+      attack.set("mttc_uncensored_mean", json_number(r.mttc_uncensored_mean));
+      attack.set("censored", r.mttc_censored);
+      attack.set("attack_seconds", r.attack_seconds);
+      cell.set("attack", std::move(attack));
+    }
     cell.set("build_seconds", r.build_seconds);
     cell.set("solve_seconds", r.solve_seconds);
     cells.emplace_back(std::move(cell));
   }
   root.set("results", std::move(cells));
 
-  // Aggregates per (solver, constraints): the cross-axis comparison a
-  // sweep is usually run for.
+  // Aggregates per (solver, constraints[, attack strategy × detection]):
+  // the cross-axis comparison a sweep is usually run for.  Solve-only
+  // cells group exactly as they did before attack axes existed.
   struct Aggregate {
     std::size_t cells = 0;
     std::size_t failures = 0;
@@ -227,10 +319,16 @@ support::Json BatchReport::to_json() const {
     double similarity = 0.0;
     double richness = 0.0;
     double solve_seconds = 0.0;
+    bool attacked = false;
+    double mttc = 0.0;
+    std::size_t mttc_runs = 0;
+    std::size_t mttc_censored = 0;
   };
-  std::map<std::pair<std::string, std::string>, Aggregate> groups;
+  using GroupKey = std::tuple<std::string, std::string, std::string, double>;
+  std::map<GroupKey, Aggregate> groups;
   for (const ScenarioResult& r : results) {
-    Aggregate& group = groups[{r.solver, r.constraints}];
+    Aggregate& group =
+        groups[{r.solver, r.constraints, r.attack_strategy, r.attack_detection}];
     ++group.cells;
     if (!r.error.empty()) {
       ++group.failures;
@@ -240,13 +338,19 @@ support::Json BatchReport::to_json() const {
     group.similarity += r.average_similarity;
     group.richness += r.normalized_richness;
     group.solve_seconds += r.solve_seconds;
+    if (r.attacked) {
+      group.attacked = true;
+      group.mttc += r.mttc_mean;
+      group.mttc_runs += r.mttc_runs;
+      group.mttc_censored += r.mttc_censored;
+    }
   }
   support::JsonArray aggregates;
   for (const auto& [key, group] : groups) {
     const double ok = static_cast<double>(group.cells - group.failures);
     support::JsonObject entry;
-    entry.set("solver", key.first);
-    entry.set("constraints", key.second);
+    entry.set("solver", std::get<0>(key));
+    entry.set("constraints", std::get<1>(key));
     entry.set("cells", group.cells);
     entry.set("failures", group.failures);
     entry.set("mean_energy", ok > 0 ? json_number(group.energy / ok) : support::Json(nullptr));
@@ -255,6 +359,16 @@ support::Json BatchReport::to_json() const {
     entry.set("mean_richness", ok > 0 ? json_number(group.richness / ok) : support::Json(nullptr));
     entry.set("mean_solve_seconds",
               ok > 0 ? json_number(group.solve_seconds / ok) : support::Json(nullptr));
+    if (group.attacked) {
+      entry.set("attack_strategy", std::get<2>(key));
+      entry.set("attack_detection", std::get<3>(key));
+      entry.set("mean_mttc", ok > 0 ? json_number(group.mttc / ok) : support::Json(nullptr));
+      entry.set("censored_rate",
+                group.mttc_runs > 0
+                    ? json_number(static_cast<double>(group.mttc_censored) /
+                                  static_cast<double>(group.mttc_runs))
+                    : support::Json(nullptr));
+    }
     aggregates.emplace_back(std::move(entry));
   }
   root.set("aggregates", std::move(aggregates));

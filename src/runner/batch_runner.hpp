@@ -49,9 +49,22 @@ struct ScenarioResult {
   double total_similarity = 0.0;
   double average_similarity = 0.0;
   double normalized_richness = 0.0;
+  // Attack evaluation (deterministic; populated when the spec carried an
+  // attack block).  MTTC aggregates over all entry hosts: `mttc_mean`
+  // censors at the horizon, `mttc_uncensored_mean` averages the
+  // target-reaching runs only (NaN when every run censored).
+  bool attacked = false;
+  std::string attack_strategy;
+  double attack_detection = 0.0;
+  /// Total Monte-Carlo runs (entries × runs-per-entry).
+  std::size_t mttc_runs = 0;
+  double mttc_mean = 0.0;
+  double mttc_uncensored_mean = 0.0;
+  std::size_t mttc_censored = 0;
   // Wall-clock (machine-dependent; excluded from determinism checks).
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
+  double attack_seconds = 0.0;
   /// Non-empty when the cell threw; every other field but index/name/axes
   /// is then meaningless.
   std::string error;

@@ -1,5 +1,7 @@
 #include "runner/scenario.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace icsdiv::runner {
@@ -52,22 +54,32 @@ std::vector<std::string> constraint_recipe_names() {
   return {"none", "pinned", "forbidden-pair"};
 }
 
+std::vector<std::string> attacker_strategy_names() { return {"sophisticated", "uniform"}; }
+
 std::string ScenarioSpec::derive_name() const {
   std::ostringstream out;
   out << "h" << workload.hosts << "-d" << workload.average_degree << "-s" << workload.services
       << "-p" << workload.products_per_service << "-" << solver << "-" << constraints << "-seed"
       << seed;
+  if (attack) out << "-" << attack->strategy << "-det" << attack->detection;
   return out.str();
 }
 
 std::size_t ScenarioGrid::size() const noexcept {
+  const std::size_t attack_cells =
+      attack ? attack->strategies.size() * attack->detections.size() : 1;
   return hosts.size() * degrees.size() * services.size() * products_per_service.size() *
-         solvers.size() * constraints.size() * seeds.size();
+         solvers.size() * constraints.size() * seeds.size() * attack_cells;
 }
 
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
   std::vector<ScenarioSpec> specs;
   specs.reserve(size());
+  // The attack axes expand innermost; a solve-only grid contributes the
+  // single no-attack combination.
+  const std::vector<std::string> strategies =
+      attack ? attack->strategies : std::vector<std::string>{""};
+  const std::vector<double> detections = attack ? attack->detections : std::vector<double>{0.0};
   for (const std::size_t host_count : hosts) {
     for (const double degree : degrees) {
       for (const std::size_t service_count : services) {
@@ -75,19 +87,34 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
           for (const std::string& solver_name : solvers) {
             for (const std::string& recipe : constraints) {
               for (const std::uint64_t seed : seeds) {
-                ScenarioSpec spec;
-                spec.workload.hosts = host_count;
-                spec.workload.average_degree = degree;
-                spec.workload.services = service_count;
-                spec.workload.products_per_service = product_count;
-                spec.workload.similar_pair_fraction = similar_pair_fraction;
-                spec.workload.max_similarity = max_similarity;
-                spec.solver = solver_name;
-                spec.constraints = recipe;
-                spec.seed = seed;
-                spec.solve = solve;
-                spec.name = spec.derive_name();
-                specs.push_back(std::move(spec));
+                for (const std::string& strategy : strategies) {
+                  for (const double detection : detections) {
+                    ScenarioSpec spec;
+                    spec.workload.hosts = host_count;
+                    spec.workload.average_degree = degree;
+                    spec.workload.services = service_count;
+                    spec.workload.products_per_service = product_count;
+                    spec.workload.similar_pair_fraction = similar_pair_fraction;
+                    spec.workload.max_similarity = max_similarity;
+                    spec.solver = solver_name;
+                    spec.constraints = recipe;
+                    spec.seed = seed;
+                    spec.solve = solve;
+                    if (attack) {
+                      AttackSpec cell;
+                      cell.entries = attack->entries;
+                      cell.target = attack->target;
+                      cell.strategy = strategy;
+                      cell.detection = detection;
+                      cell.runs = attack->runs;
+                      cell.max_ticks = attack->max_ticks;
+                      cell.seed = attack->seed;
+                      spec.attack = std::move(cell);
+                    }
+                    spec.name = spec.derive_name();
+                    specs.push_back(std::move(spec));
+                  }
+                }
               }
             }
           }
@@ -143,6 +170,51 @@ std::vector<T> integer_axis(const support::Json& value, const std::string& key) 
   return result;
 }
 
+/// Single non-negative integer (exact; no silent wrap of negatives).
+std::uint64_t non_negative_integer(const support::Json& value, const std::string& key) {
+  const std::int64_t exact = value.as_integer();
+  require(exact >= 0, "ScenarioGrid::from_json", "value must be non-negative: " + key);
+  return static_cast<std::uint64_t>(exact);
+}
+
+AttackGrid attack_grid_from_json(const support::Json& json) {
+  AttackGrid attack;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "entries") {
+      attack.entries = integer_axis<core::HostId>(value, "attack.entries");
+    } else if (key == "target") {
+      attack.target = static_cast<core::HostId>(non_negative_integer(value, "attack.target"));
+    } else if (key == "strategies") {
+      attack.strategies = string_axis(value, "attack.strategies");
+      const auto known = attacker_strategy_names();
+      for (const std::string& strategy : attack.strategies) {
+        require(std::find(known.begin(), known.end(), strategy) != known.end(),
+                "ScenarioGrid::from_json",
+                "unknown attacker strategy: " + strategy + " (known: sophisticated, uniform)");
+      }
+    } else if (key == "detections") {
+      attack.detections = number_axis(value, "attack.detections");
+      for (const double detection : attack.detections) {
+        require(std::isfinite(detection) && detection >= 0.0 && detection <= 1.0,
+                "ScenarioGrid::from_json", "attack.detections values must be in [0,1]");
+      }
+    } else if (key == "runs") {
+      attack.runs = static_cast<std::size_t>(non_negative_integer(value, "attack.runs"));
+      require(attack.runs > 0, "ScenarioGrid::from_json", "attack.runs must be positive");
+    } else if (key == "max_ticks") {
+      attack.max_ticks =
+          static_cast<std::size_t>(non_negative_integer(value, "attack.max_ticks"));
+      require(attack.max_ticks > 0, "ScenarioGrid::from_json",
+              "attack.max_ticks must be positive");
+    } else if (key == "seed") {
+      attack.seed = non_negative_integer(value, "attack.seed");
+    } else {
+      throw InvalidArgument("ScenarioGrid::from_json: unknown key: attack." + key);
+    }
+  }
+  return attack;
+}
+
 }  // namespace
 
 ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
@@ -169,9 +241,17 @@ ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
     } else if (key == "max_similarity") {
       grid.max_similarity = value.as_double();
     } else if (key == "max_iterations") {
-      grid.solve.max_iterations = static_cast<std::size_t>(value.as_integer());
+      // A negative int would otherwise wrap to a huge size_t and run the
+      // solver effectively forever.
+      grid.solve.max_iterations =
+          static_cast<std::size_t>(non_negative_integer(value, "max_iterations"));
     } else if (key == "tolerance") {
-      grid.solve.tolerance = value.as_double();
+      const double tolerance = value.as_double();
+      require(std::isfinite(tolerance) && tolerance >= 0.0, "ScenarioGrid::from_json",
+              "tolerance must be finite and non-negative");
+      grid.solve.tolerance = tolerance;
+    } else if (key == "attack") {
+      grid.attack = attack_grid_from_json(value);
     } else {
       throw InvalidArgument("ScenarioGrid::from_json: unknown key: " + key);
     }
@@ -202,6 +282,21 @@ support::Json ScenarioGrid::to_json() const {
   object.set("max_similarity", max_similarity);
   object.set("max_iterations", solve.max_iterations);
   object.set("tolerance", solve.tolerance);
+  if (attack) {
+    support::JsonObject attack_object;
+    support::JsonArray entries;
+    for (const core::HostId entry : attack->entries) {
+      entries.emplace_back(static_cast<std::int64_t>(entry));
+    }
+    attack_object.set("entries", std::move(entries));
+    attack_object.set("target", static_cast<std::int64_t>(attack->target));
+    attack_object.set("strategies", sizes(attack->strategies));
+    attack_object.set("detections", sizes(attack->detections));
+    attack_object.set("runs", attack->runs);
+    attack_object.set("max_ticks", attack->max_ticks);
+    attack_object.set("seed", static_cast<std::int64_t>(attack->seed));
+    object.set("attack", std::move(attack_object));
+  }
   return object;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,29 @@ namespace icsdiv::runner {
 /// Registered recipe names (for usage strings and validation).
 [[nodiscard]] std::vector<std::string> constraint_recipe_names();
 
+/// Attacker strategy names the attack block accepts (sim::AttackerStrategy
+/// spellings; resolved by the batch runner when the cell executes).
+[[nodiscard]] std::vector<std::string> attacker_strategy_names();
+
+/// Worm-propagation evaluation attached to a cell (§VII-C2 / Table VI,
+/// with the §IX defender knob): after the solve, MTTC is estimated from
+/// every entry host towards `target` on the diversified assignment.  Host
+/// ids refer to the generated workload (0 .. hosts-1).
+struct AttackSpec {
+  std::vector<core::HostId> entries{0};
+  core::HostId target = 0;
+  /// "sophisticated" or "uniform" (sim::AttackerStrategy).
+  std::string strategy = "sophisticated";
+  /// Per-tick per-host detection probability (the §IX defender).
+  double detection = 0.0;
+  /// Monte-Carlo runs per entry.
+  std::size_t runs = 200;
+  /// Censoring horizon per run.
+  std::size_t max_ticks = 10'000;
+  /// Per-entry MTTC streams derive deterministically from this.
+  std::uint64_t seed = 2020;
+};
+
 struct ScenarioSpec {
   /// Report label; derive_name() fills it from the axes when empty.
   std::string name;
@@ -48,12 +72,28 @@ struct ScenarioSpec {
   /// runs cells on a single worker, see BatchOptions::inner_parallel).
   bool decompose = true;
   bool parallel = false;
+  /// Attack evaluation to run on the solved cell, when present.
+  std::optional<AttackSpec> attack;
 
   [[nodiscard]] std::string derive_name() const;
 };
 
+/// Attack axes of a grid: every solved cell is additionally evaluated for
+/// each {strategy × detection} combination (entries stay within one cell —
+/// the compiled simulator is shared across them).
+struct AttackGrid {
+  std::vector<core::HostId> entries{0};
+  core::HostId target = 0;
+  std::vector<std::string> strategies{"sophisticated"};
+  std::vector<double> detections{0.0};
+  std::size_t runs = 200;
+  std::size_t max_ticks = 10'000;
+  std::uint64_t seed = 2020;
+};
+
 /// Axis lists; expand() emits their cartesian product in a fixed order
-/// (hosts → degree → services → products → solver → constraints → seed).
+/// (hosts → degree → services → products → solver → constraints → seed
+/// [→ attack strategy → detection]).
 struct ScenarioGrid {
   std::string name = "grid";
   std::vector<std::size_t> hosts{1000};
@@ -66,12 +106,16 @@ struct ScenarioGrid {
   double similar_pair_fraction = 0.5;
   double max_similarity = 0.6;
   mrf::SolveOptions solve;
+  /// Attack axes; absent ⇒ solve-only cells (the historical grid shape).
+  std::optional<AttackGrid> attack;
 
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Parses the `icsdiv_cli batch --grid` document.  Every axis key is
-  /// optional and may be a scalar or an array; unknown keys throw.
+  /// optional and may be a scalar or an array; unknown keys throw, as do
+  /// out-of-domain values (negative max_iterations, non-finite tolerance,
+  /// unknown strategies, detection outside [0,1], ...).
   static ScenarioGrid from_json(const support::Json& json);
   [[nodiscard]] support::Json to_json() const;
 };

@@ -1,0 +1,308 @@
+#include "sim/compiled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/thread_pool.hpp"
+
+namespace icsdiv::sim {
+
+namespace {
+
+/// ceil(p·2^53): accepts a raw xoshiro word x exactly when
+/// Rng::uniform() = (x>>11)·2⁻⁵³ < p would.  p·2^53 is an exact double
+/// (power-of-two scaling), so no rounding sneaks into the equivalence.
+std::uint64_t acceptance_threshold(double p) noexcept {
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
+}
+
+}  // namespace
+
+void SimState::begin_run(std::size_t host_count, core::HostId entry_host) {
+  if (marked.size() != host_count) {
+    marked.assign(host_count, 0);
+    epoch = 0;
+  }
+  if (++epoch == 0) {  // u32 wrap: stale marks from ~4G runs ago would alias
+    std::fill(marked.begin(), marked.end(), 0);
+    epoch = 1;
+  }
+  active.clear();
+  ever_infected = 0;
+  entry = entry_host;
+}
+
+CompiledPropagation::CompiledPropagation(const core::Assignment& assignment,
+                                         SimulationParams params)
+    : params_(params) {
+  require(params_.model.p_avg >= 0.0 && params_.model.p_avg <= 1.0, "CompiledPropagation",
+          "p_avg must be in [0,1]");
+  require(params_.silent_probability >= 0.0 && params_.silent_probability < 1.0,
+          "CompiledPropagation", "silent probability must be in [0,1)");
+  require(params_.max_ticks > 0, "CompiledPropagation", "max_ticks must be positive");
+  require(params_.detection_probability >= 0.0 && params_.detection_probability <= 1.0,
+          "CompiledPropagation", "detection probability must be in [0,1]");
+
+  has_silent_ = params_.silent_probability > 0.0;
+  silent_threshold_ = acceptance_threshold(params_.silent_probability);
+  detection_threshold_ = acceptance_threshold(params_.detection_probability);
+
+  const core::Network& network = assignment.network();
+  host_count_ = network.host_count();
+  const auto& edges = network.topology().edges();
+
+  // Counting sort over the edge list: stable, so each host's links appear
+  // in the order the historical per-host push_back produced (both
+  // directions of an edge appended while that edge is scanned).
+  offsets_.assign(host_count_ + 1, 0);
+  for (const graph::Edge& link : edges) {
+    ++offsets_[link.u + 1];
+    ++offsets_[link.v + 1];
+  }
+  for (std::size_t h = 0; h < host_count_; ++h) {
+    offsets_[h + 1] += offsets_[h];
+    max_degree_ = std::max<std::size_t>(max_degree_, offsets_[h + 1] - offsets_[h]);
+  }
+
+  const std::size_t link_count = offsets_[host_count_];
+  link_to_.resize(link_count);
+  link_best_threshold_.resize(link_count);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  std::vector<double> scratch_pool;  // channel picks in edge-scan order
+  scratch_pool.reserve(link_count);
+  std::vector<std::uint32_t> scratch_begin(link_count, 0);
+  std::vector<std::uint32_t> scratch_count(link_count, 0);
+  for (const graph::Edge& link : edges) {
+    for (const auto& [from, to] : {std::pair{link.u, link.v}, std::pair{link.v, link.u}}) {
+      const auto begin = static_cast<std::uint32_t>(scratch_pool.size());
+      scratch_pool.push_back(params_.model.p_avg);  // pick 0: the baseline channel
+      double best = params_.model.p_avg;
+      if (params_.model.consider_similarity) {
+        bayes::append_similarity_probabilities(assignment, from, to, params_.model,
+                                               scratch_pool);
+        for (std::size_t p = begin + 1; p < scratch_pool.size(); ++p) {
+          best = std::max(best, scratch_pool[p]);
+        }
+      }
+      const std::uint32_t slot = cursor[from]++;
+      link_to_[slot] = to;
+      link_best_threshold_[slot] = acceptance_threshold(best);
+      scratch_begin[slot] = begin;
+      scratch_count[slot] = static_cast<std::uint32_t>(scratch_pool.size() - begin);
+    }
+  }
+  // Re-lay the pick pool in CSR link order so a host's uniform-pick tables
+  // are contiguous during the tick scan.
+  pick_begin_.resize(link_count + 1);
+  pick_pool_.reserve(scratch_pool.size());
+  for (std::size_t l = 0; l < link_count; ++l) {
+    pick_begin_[l] = static_cast<std::uint32_t>(pick_pool_.size());
+    for (std::uint32_t p = 0; p < scratch_count[l]; ++p) {
+      pick_pool_.push_back(acceptance_threshold(scratch_pool[scratch_begin[l] + p]));
+    }
+  }
+  pick_begin_[link_count] = static_cast<std::uint32_t>(pick_pool_.size());
+}
+
+bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rng& rng,
+                               bool& dead) const {
+  const std::uint32_t epoch = state.epoch;
+  const bool sophisticated = params_.strategy == AttackerStrategy::Sophisticated;
+  // With the defender off, a host whose neighbours are all marked can
+  // never draw from the RNG again (susceptibility only shrinks), so the
+  // scan may drop it with a bit-identical stream.  With the defender on,
+  // `active` is also the detection-roll list and must stay complete.
+  const bool prune = params_.detection_probability == 0.0;
+  if (state.gather.size() < max_degree_) state.gather.resize(max_degree_);
+  if (state.fresh.size() < link_to_.size()) state.fresh.resize(link_to_.size());
+  std::uint32_t* const gather = state.gather.data();
+  core::HostId* const fresh = state.fresh.data();
+  std::size_t fresh_count = 0;
+  bool any_susceptible = false;
+  // Synchronous update: infections land after all of this tick's attempts,
+  // so iteration order cannot bias the dynamics.
+  const std::size_t attacker_count = state.active.size();
+  std::size_t kept = 0;
+  for (std::size_t a = 0; a < attacker_count; ++a) {
+    const core::HostId attacker = state.active[a];
+    const std::uint32_t begin = offsets_[attacker];
+    const std::uint32_t end = offsets_[attacker + 1];
+    // Phase 1: branchless compaction of this attacker's susceptible links
+    // (the test is data-random; a branch here mispredicts constantly).
+    std::uint32_t frontier = 0;
+    for (std::uint32_t l = begin; l < end; ++l) {
+      gather[frontier] = l;
+      frontier += state.marked[link_to_[l]] != epoch ? 1 : 0;
+    }
+    if (frontier == 0) continue;  // saturated (this tick): no draws either way
+    any_susceptible = true;
+    if (prune) state.active[kept++] = attacker;
+    // Phase 2: the serial RNG draws, in CSR link order — exactly the
+    // attempts the seed-era fused loop made, in its order.  Successes
+    // compact branchlessly into `fresh` (a success is too rare to
+    // predict, too common to eat the mispredict).
+    for (std::uint32_t i = 0; i < frontier; ++i) {
+      const std::uint32_t l = gather[i];
+      std::uint64_t threshold;
+      if (sophisticated) {
+        threshold = link_best_threshold_[l];
+      } else {
+        // Uniform choice among the feasible exploits (baseline included),
+        // optionally staying silent.
+        if (has_silent_ && (rng() >> 11) < silent_threshold_) continue;
+        const std::uint32_t picks = pick_begin_[l];
+        threshold = pick_pool_[picks + rng.index(pick_begin_[l + 1] - picks)];
+      }
+      fresh[fresh_count] = link_to_[l];
+      fresh_count += (rng() >> 11) < threshold ? 1 : 0;
+    }
+  }
+  if (prune) state.active.resize(kept);
+  bool hit_target = false;
+  for (std::size_t f = 0; f < fresh_count; ++f) {
+    const core::HostId host = fresh[f];
+    if (state.marked[host] != epoch) {
+      state.marked[host] = epoch;
+      state.active.push_back(host);
+      ++state.ever_infected;
+      hit_target = hit_target || host == target;
+    }
+  }
+  // Defender pass: detected hosts are remediated and become immune.  The
+  // entry foothold is assumed to persist (the attacker controls it through
+  // an out-of-band channel).  Remediated hosts stay marked — they are no
+  // longer infectious, but not susceptible either.
+  if (params_.detection_probability > 0.0) {
+    std::erase_if(state.active, [&](core::HostId host) {
+      return host != state.entry && (rng() >> 11) < detection_threshold_;
+    });
+  }
+  // No susceptible neighbour anywhere ⇒ nothing can ever change again
+  // (remediation only shrinks the susceptible set).
+  dead = !any_susceptible;
+  return hit_target;
+}
+
+void CompiledPropagation::start_run(SimState& state, core::HostId entry) const {
+  state.begin_run(host_count_, entry);
+  state.marked[entry] = state.epoch;
+  state.active.push_back(entry);
+  state.ever_infected = 1;
+}
+
+RunResult CompiledPropagation::run_once(core::HostId entry, core::HostId target,
+                                        support::Rng& rng, SimState& state) const {
+  require(entry < host_count_ && target < host_count_, "CompiledPropagation::run_once",
+          "unknown entry/target host");
+  start_run(state, entry);
+
+  RunResult result;
+  if (entry == target) {
+    result.target_reached = true;
+    result.infected_count = 1;
+    return result;
+  }
+  for (std::size_t t = 1; t <= params_.max_ticks; ++t) {
+    bool dead = false;
+    if (tick(state, target, rng, dead)) {
+      result.target_reached = true;
+      result.ticks = t;
+      result.infected_count = state.ever_infected;
+      return result;
+    }
+    if (dead) {
+      result.extinct = true;
+      break;
+    }
+  }
+  // Censored: the horizon is reported whether the run spun there or the
+  // worm died out early (identical MTTC accounting either way).
+  result.ticks = params_.max_ticks;
+  result.infected_count = state.ever_infected;
+  return result;
+}
+
+std::vector<std::size_t> CompiledPropagation::epidemic_curve(core::HostId entry,
+                                                             std::size_t ticks,
+                                                             support::Rng& rng,
+                                                             SimState& state) const {
+  require(entry < host_count_, "CompiledPropagation::epidemic_curve", "unknown entry host");
+  start_run(state, entry);
+
+  std::vector<std::size_t> curve;
+  curve.reserve(ticks + 1);
+  curve.push_back(state.ever_infected);
+  constexpr core::HostId kNoTarget = static_cast<core::HostId>(-1);
+  // No dead-state exit here: the curve has a fixed length, and ticking on
+  // keeps the caller-visible RNG stream identical to the seed-era code
+  // (a dead tick draws nothing).
+  for (std::size_t t = 0; t < ticks; ++t) {
+    bool dead = false;
+    tick(state, kNoTarget, rng, dead);
+    curve.push_back(state.ever_infected);
+  }
+  return curve;
+}
+
+MttcResult CompiledPropagation::mttc(core::HostId entry, core::HostId target, std::size_t runs,
+                                     std::uint64_t seed, bool parallel,
+                                     std::size_t threads) const {
+  require(runs > 0, "CompiledPropagation::mttc", "need at least one run");
+
+  std::vector<double> ticks(runs, 0.0);
+  std::vector<std::uint8_t> censored(runs, 0);
+  const auto run_range = [&](std::size_t lo, std::size_t hi, SimState& state) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      // Independent deterministic stream per run — the historical formula,
+      // so every chunking (and the sequential path) is bit-identical.
+      std::uint64_t stream = seed + 0x9E3779B97F4A7C15ULL * (r + 1);
+      support::Rng rng(support::splitmix64(stream));
+      const RunResult result = run_once(entry, target, rng, state);
+      ticks[r] = static_cast<double>(result.ticks);
+      censored[r] = result.target_reached ? 0 : 1;
+    }
+  };
+
+  std::size_t workers = 1;
+  if (parallel && runs > 1) {
+    workers = threads != 0 ? threads : support::global_thread_pool().size();
+    workers = std::clamp<std::size_t>(workers, 1, runs);
+  }
+  if (workers <= 1) {
+    SimState state;
+    run_range(0, runs, state);
+  } else {
+    const std::size_t chunk = (runs + workers - 1) / workers;
+    support::global_thread_pool().parallel_for(workers, [&](std::size_t w) {
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = std::min(runs, lo + chunk);
+      if (lo >= hi) return;
+      SimState state;  // one scratch per chunk, reused across its runs
+      run_range(lo, hi, state);
+    });
+  }
+
+  MttcResult result;
+  result.runs = runs;
+  double sum = 0.0;
+  double uncensored_sum = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    sum += ticks[r];
+    result.censored += censored[r];
+    if (!censored[r]) uncensored_sum += ticks[r];
+  }
+  result.mean = sum / static_cast<double>(runs);
+  const std::size_t reached = runs - result.censored;
+  result.uncensored_mean = reached > 0 ? uncensored_sum / static_cast<double>(reached)
+                                       : std::numeric_limits<double>::quiet_NaN();
+  double sum_squared_error = 0.0;
+  for (double t : ticks) sum_squared_error += (t - result.mean) * (t - result.mean);
+  if (runs > 1) {
+    result.std_dev = std::sqrt(sum_squared_error / static_cast<double>(runs - 1));
+    result.ci95_half_width = 1.96 * result.std_dev / std::sqrt(static_cast<double>(runs));
+  }
+  return result;
+}
+
+}  // namespace icsdiv::sim

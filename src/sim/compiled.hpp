@@ -1,0 +1,188 @@
+// CompiledPropagation: the flat simulation substrate behind the worm
+// simulator (§VII-C2), mirroring mrf::CompiledMrf one pillar over.
+//
+// The seed-era WormSimulator kept a `vector<vector<DirectedLink>>` whose
+// per-link records each embedded their own `vector<double>` of channel
+// probabilities — three pointer hops per attack attempt — and every
+// Monte-Carlo run allocated two `vector<bool>(host_count)` marks plus the
+// active list from scratch.  The compiled layout resolves all of it once
+// per (assignment, params):
+//
+//   * CSR adjacency — `offsets_[host_count+1]` into packed per-link
+//     arrays, filled by a stable counting sort over the topology's edge
+//     list so per-host link order matches the historical push_back order
+//     exactly (both traversal directions of an edge are appended as the
+//     edge is scanned).  Attack attempts therefore draw from the RNG in
+//     the seed-era order and every run stays bit-identical.  The arrays
+//     are struct-of-arrays: the Sophisticated scan touches only
+//     `link_to_` + `link_best_threshold_`, keeping the hot loop dense.
+//   * Integer acceptance thresholds — every per-attempt probability p is
+//     precompiled to ceil(p·2^53), so a Bernoulli draw is one integer
+//     compare `(rng() >> 11) < threshold`.  This is *exactly*
+//     `Rng::uniform() < p`: uniform() is (x>>11)·2⁻⁵³ and scaling a
+//     double by 2⁵³ is exact, so the threshold form accepts precisely the
+//     same raw words from the same single RNG step.
+//   * Flat channel-threshold pool — each link's uniform-pick table is a
+//     contiguous `pick_pool_` slice `[p_avg, channel...]` in CSR link
+//     order (`pick_begin_` holds the E+1 prefix offsets), so the Uniform
+//     attacker's draw is one indexed load with no branch on the
+//     baseline-vs-channel split.
+//   * Per-link best table — the Sophisticated attacker's
+//     `max(p_avg, channels...)` is precomputed per directed link.
+//
+// The tick scan is two phases per attacker: a branchless gather of the
+// susceptible link indices (conditional-increment compaction — the
+// susceptibility test is data-random and would otherwise mispredict on
+// every other neighbour), then the serial RNG draws over the gathered
+// frontier in CSR order.  Marks only change after all attackers scanned
+// (synchronous update), so gather-then-draw sees exactly the state the
+// seed-era fused loop saw and consumes the RNG identically.
+//
+// Per-run state lives in a reusable SimState: one epoch-stamped u32 mark
+// per host (a run boundary is a counter bump, not an O(N) clear or
+// reallocation).  A single mark covers both "infected" and "remediated" —
+// every reader only ever asks "still susceptible?", which both states
+// answer the same way.  `mttc()` is an allocation-free chunked parallel
+// loop over the historical per-run splitmix64 streams.
+//
+// Two exits spare the seed-era busy-spin to `max_ticks`:
+//
+//   * Saturation pruning (defender off only): a host whose neighbours are
+//     all non-susceptible can never contribute an RNG draw again —
+//     susceptibility only shrinks — so it is dropped from the active scan
+//     with zero effect on the draw sequence.  With a defender the active
+//     list doubles as the detection-roll list, so it is left intact.
+//   * Dead-state detection: a tick in which no active host saw a
+//     susceptible neighbour ends the run (`RunResult::extinct`) — a
+//     walled-off or fully-remediated worm terminates immediately.
+//     Censoring fields are unchanged (`ticks` still reports the horizon).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bayes/propagation.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::sim {
+
+enum class AttackerStrategy { Sophisticated, Uniform };
+
+struct SimulationParams {
+  bayes::PropagationModel model{/*p_avg=*/0.04, /*similarity_weight=*/0.30,
+                                /*consider_similarity=*/true};
+  AttackerStrategy strategy = AttackerStrategy::Sophisticated;
+  /// Chance a Uniform attacker skips an attack opportunity this tick.
+  /// Only the Uniform strategy rolls it — Sophisticated models a
+  /// reconnaissance-first attacker that always fires its best exploit and
+  /// ignores this knob entirely.
+  double silent_probability = 0.0;
+  /// Censoring horizon per run.
+  std::size_t max_ticks = 100'000;
+  /// Defender model (§IX's defensive-evaluation extension): each infected
+  /// host other than the attacker's entry foothold is detected per tick
+  /// with this probability and remediated — cleaned, patched and immune
+  /// for the rest of the run.  0 disables the defender (the paper's
+  /// setting).  With an active defender the worm can be eradicated before
+  /// reaching the target, so MTTC runs may censor at `max_ticks`.
+  double detection_probability = 0.0;
+};
+
+struct RunResult {
+  bool target_reached = false;
+  /// Propagation died out before the horizon: no active host had a
+  /// susceptible neighbour left, so no further infection was possible.
+  bool extinct = false;
+  std::size_t ticks = 0;  ///< tick at which the target fell (or horizon)
+  /// Hosts ever infected during the run (the entry included).  Counts a
+  /// host even after the defender remediates it — remediation undoes the
+  /// infection, not the compromise that happened.
+  std::size_t infected_count = 0;
+};
+
+struct MttcResult {
+  double mean = 0.0;  ///< over all runs, censored runs counted at max_ticks
+  /// Mean over the target-reaching runs only — the censoring-bias-free
+  /// companion of `mean` (which clamps censored runs to the horizon and
+  /// so underestimates the true MTTC).  NaN when every run censored.
+  double uncensored_mean = 0.0;
+  double std_dev = 0.0;
+  double ci95_half_width = 0.0;
+  std::size_t runs = 0;
+  std::size_t censored = 0;  ///< runs that hit max_ticks without compromise
+};
+
+/// Reusable per-thread scratch for simulation runs.  First use sizes the
+/// buffers; every following run is a counter bump plus list clears.
+struct SimState {
+  /// mark == epoch ⇔ the host was infected this run (and possibly
+  /// remediated since) — i.e. no longer susceptible.
+  std::vector<std::uint32_t> marked;
+  std::vector<core::HostId> active;
+  /// Scratch for this tick's new infections (sized to the link count; the
+  /// logical length lives inside the tick).
+  std::vector<core::HostId> fresh;
+  std::vector<std::uint32_t> gather;  ///< scratch: one attacker's frontier links
+  std::uint32_t epoch = 0;
+  std::size_t ever_infected = 0;
+  core::HostId entry = 0;
+
+  /// Starts a run: bumps the epoch (wiping the marks only on u32 wrap or
+  /// resize) and resets the lists.
+  void begin_run(std::size_t host_count, core::HostId entry_host);
+};
+
+class CompiledPropagation {
+ public:
+  /// Precomputes the CSR adjacency and per-link channel tables for
+  /// `assignment`; the assignment is only read during construction.
+  CompiledPropagation(const core::Assignment& assignment, SimulationParams params);
+
+  [[nodiscard]] const SimulationParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_to_.size(); }
+
+  /// One simulation run; deterministic given `rng`'s state.  `state` is
+  /// caller-provided scratch, reusable across runs and simulators.
+  RunResult run_once(core::HostId entry, core::HostId target, support::Rng& rng,
+                     SimState& state) const;
+
+  /// Cumulative infected-host counts per tick for one run (tick 0 = the
+  /// entry foothold), `ticks + 1` entries.
+  [[nodiscard]] std::vector<std::size_t> epidemic_curve(core::HostId entry, std::size_t ticks,
+                                                        support::Rng& rng,
+                                                        SimState& state) const;
+
+  /// MTTC over `runs` independent runs.  When `parallel`, the runs are
+  /// split into `threads` contiguous chunks (0 = the global pool's width)
+  /// with one SimState per chunk; per-run seeded streams make the result
+  /// bit-identical for every chunking, including the sequential path.
+  [[nodiscard]] MttcResult mttc(core::HostId entry, core::HostId target, std::size_t runs,
+                                std::uint64_t seed, bool parallel = true,
+                                std::size_t threads = 0) const;
+
+ private:
+  /// Starts a run on this substrate: epoch bump, entry marked and active.
+  void start_run(SimState& state, core::HostId entry) const;
+
+  /// Advances one tick; returns true when the target was infected.  Sets
+  /// `dead` when no active host saw a susceptible neighbour this tick.
+  bool tick(SimState& state, core::HostId target, support::Rng& rng, bool& dead) const;
+
+  SimulationParams params_;
+  std::size_t host_count_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::uint32_t> offsets_;  ///< host_count+1 CSR offsets
+  std::vector<core::HostId> link_to_;   ///< per directed link
+  /// ceil(max(p_avg, channels)·2^53) per link — Sophisticated's draw.
+  std::vector<std::uint64_t> link_best_threshold_;
+  std::vector<std::uint32_t> pick_begin_;  ///< E+1 offsets into pick_pool_
+  /// Per link [p_avg, channel...] as acceptance thresholds.
+  std::vector<std::uint64_t> pick_pool_;
+  bool has_silent_ = false;  ///< gates the silent draw (a 0-probability
+                             ///< threshold must not consume an RNG step)
+  std::uint64_t silent_threshold_ = 0;
+  std::uint64_t detection_threshold_ = 0;
+};
+
+}  // namespace icsdiv::sim

@@ -1,184 +1,17 @@
 #include "sim/worm_sim.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "support/thread_pool.hpp"
-
 namespace icsdiv::sim {
-
-WormSimulator::WormSimulator(const core::Assignment& assignment, SimulationParams params)
-    : params_(params) {
-  require(params_.model.p_avg >= 0.0 && params_.model.p_avg <= 1.0, "WormSimulator",
-          "p_avg must be in [0,1]");
-  require(params_.silent_probability >= 0.0 && params_.silent_probability < 1.0,
-          "WormSimulator", "silent probability must be in [0,1)");
-  require(params_.max_ticks > 0, "WormSimulator", "max_ticks must be positive");
-  require(params_.detection_probability >= 0.0 && params_.detection_probability <= 1.0,
-          "WormSimulator", "detection probability must be in [0,1]");
-
-  const core::Network& network = assignment.network();
-  host_count_ = network.host_count();
-  adjacency_.resize(host_count_);
-  for (const graph::Edge& link : network.topology().edges()) {
-    for (const auto& [from, to] : {std::pair{link.u, link.v}, std::pair{link.v, link.u}}) {
-      DirectedLink directed;
-      directed.to = to;
-      directed.best_probability = params_.model.p_avg;  // baseline channel
-      if (params_.model.consider_similarity) {
-        for (const bayes::Channel& channel :
-             bayes::similarity_channels(assignment, from, to, params_.model)) {
-          directed.channel_probabilities.push_back(channel.success_probability);
-          directed.best_probability =
-              std::max(directed.best_probability, channel.success_probability);
-        }
-      }
-      adjacency_[from].push_back(std::move(directed));
-    }
-  }
-}
-
-bool WormSimulator::tick(TickState& state, core::HostId target, support::Rng& rng) const {
-  auto& [infected, immune, active, entry] = state;
-  // Synchronous update: infections land after all of this tick's attempts,
-  // so iteration order cannot bias the dynamics.
-  std::vector<core::HostId> newly_infected;
-  for (core::HostId attacker : active) {
-    for (const DirectedLink& link : adjacency_[attacker]) {
-      if (infected[link.to] || immune[link.to]) continue;
-      double probability = 0.0;
-      if (params_.strategy == AttackerStrategy::Sophisticated) {
-        probability = link.best_probability;
-      } else {
-        // Uniform choice among the feasible exploits (baseline included),
-        // optionally staying silent.
-        if (params_.silent_probability > 0.0 && rng.bernoulli(params_.silent_probability)) {
-          continue;
-        }
-        const std::size_t choices = link.channel_probabilities.size() + 1;
-        const std::size_t pick = rng.index(choices);
-        probability = pick == 0 ? params_.model.p_avg : link.channel_probabilities[pick - 1];
-      }
-      if (rng.bernoulli(probability)) newly_infected.push_back(link.to);
-    }
-  }
-  bool hit_target = false;
-  for (core::HostId host : newly_infected) {
-    if (!infected[host] && !immune[host]) {
-      infected[host] = true;
-      active.push_back(host);
-      hit_target = hit_target || host == target;
-    }
-  }
-  // Defender pass: detected hosts are remediated and become immune.  The
-  // entry foothold is assumed to persist (the attacker controls it through
-  // an out-of-band channel).
-  if (params_.detection_probability > 0.0) {
-    std::erase_if(active, [&](core::HostId host) {
-      if (host == entry || !rng.bernoulli(params_.detection_probability)) return false;
-      infected[host] = false;
-      immune[host] = true;
-      return true;
-    });
-  }
-  return hit_target;
-}
 
 RunResult WormSimulator::run_once(core::HostId entry, core::HostId target,
                                   support::Rng& rng) const {
-  require(entry < host_count_ && target < host_count_, "WormSimulator::run_once",
-          "unknown entry/target host");
-  TickState state{std::vector<bool>(host_count_, false), std::vector<bool>(host_count_, false),
-                  {}, entry};
-  state.infected[entry] = true;
-  state.active.push_back(entry);
-
-  RunResult result;
-  if (entry == target) {
-    result.target_reached = true;
-    result.infected_count = 1;
-    return result;
-  }
-  for (std::size_t t = 1; t <= params_.max_ticks; ++t) {
-    if (tick(state, target, rng)) {
-      result.target_reached = true;
-      result.ticks = t;
-      result.infected_count = state.active.size();
-      return result;
-    }
-    // With a defender, the worm may be eradicated: only the entry remains
-    // active and every other host is immune or was never reached.
-    if (params_.detection_probability > 0.0 && state.active.size() == 1 &&
-        state.active.front() == entry) {
-      bool frontier_left = false;
-      for (const DirectedLink& link : adjacency_[entry]) {
-        if (!state.infected[link.to] && !state.immune[link.to]) {
-          frontier_left = true;
-          break;
-        }
-      }
-      if (!frontier_left) break;
-    }
-  }
-  result.ticks = params_.max_ticks;
-  result.infected_count = state.active.size();
-  return result;
+  SimState state;
+  return compiled_.run_once(entry, target, rng, state);
 }
 
 std::vector<std::size_t> WormSimulator::epidemic_curve(core::HostId entry, std::size_t ticks,
                                                        support::Rng& rng) const {
-  require(entry < host_count_, "WormSimulator::epidemic_curve", "unknown entry host");
-  TickState state{std::vector<bool>(host_count_, false), std::vector<bool>(host_count_, false),
-                  {}, entry};
-  state.infected[entry] = true;
-  state.active.push_back(entry);
-
-  std::vector<std::size_t> curve;
-  curve.reserve(ticks + 1);
-  curve.push_back(state.active.size());
-  constexpr core::HostId kNoTarget = static_cast<core::HostId>(-1);
-  for (std::size_t t = 0; t < ticks; ++t) {
-    tick(state, kNoTarget, rng);
-    curve.push_back(state.active.size());
-  }
-  return curve;
-}
-
-MttcResult WormSimulator::mttc(core::HostId entry, core::HostId target, std::size_t runs,
-                               std::uint64_t seed, bool parallel) const {
-  require(runs > 0, "WormSimulator::mttc", "need at least one run");
-
-  std::vector<double> ticks(runs, 0.0);
-  std::vector<std::uint8_t> censored(runs, 0);
-  const auto one_run = [&](std::size_t r) {
-    // Independent deterministic stream per run (stable under `parallel`).
-    std::uint64_t stream = seed + 0x9E3779B97F4A7C15ULL * (r + 1);
-    support::Rng rng(support::splitmix64(stream));
-    const RunResult result = run_once(entry, target, rng);
-    ticks[r] = static_cast<double>(result.ticks);
-    censored[r] = result.target_reached ? 0 : 1;
-  };
-  if (parallel && runs > 1) {
-    support::global_thread_pool().parallel_for(runs, one_run);
-  } else {
-    for (std::size_t r = 0; r < runs; ++r) one_run(r);
-  }
-
-  MttcResult result;
-  result.runs = runs;
-  double sum = 0.0;
-  for (std::size_t r = 0; r < runs; ++r) {
-    sum += ticks[r];
-    result.censored += censored[r];
-  }
-  result.mean = sum / static_cast<double>(runs);
-  double sum_squared_error = 0.0;
-  for (double t : ticks) sum_squared_error += (t - result.mean) * (t - result.mean);
-  if (runs > 1) {
-    result.std_dev = std::sqrt(sum_squared_error / static_cast<double>(runs - 1));
-    result.ci95_half_width = 1.96 * result.std_dev / std::sqrt(static_cast<double>(runs));
-  }
-  return result;
+  SimState state;
+  return compiled_.epidemic_curve(entry, ticks, rng, state);
 }
 
 }  // namespace icsdiv::sim

@@ -5,7 +5,8 @@
 // attacker picks which exploit to fire across the link:
 //
 //  * Sophisticated (the paper's default): reconnaissance first — always
-//    the channel with the highest success probability;
+//    the channel with the highest success probability.  It never stays
+//    silent: `silent_probability` applies to the Uniform strategy only.
 //  * Uniform: "when multiple exploits are feasible, attackers evenly
 //    choose one to use" (the paper's BN assumption), including the chance
 //    to stay silent when `silent_probability` is set.
@@ -17,92 +18,55 @@
 // and diversified deployments hold out an order of magnitude longer —
 // Table VI's contrast.  Mean-Time-To-Compromise (MTTC) aggregates ticks
 // until the target falls over many runs (the paper uses 1 000).
+//
+// The dynamics run on sim::CompiledPropagation (see compiled.hpp): a CSR
+// adjacency with flat per-link channel tables and reusable epoch-stamped
+// run state.  This class is the convenient facade — it owns the compiled
+// substrate and provides allocating wrappers for one-off runs.
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
-#include "bayes/propagation.hpp"
-#include "support/rng.hpp"
+#include "sim/compiled.hpp"
 
 namespace icsdiv::sim {
 
-enum class AttackerStrategy { Sophisticated, Uniform };
-
-struct SimulationParams {
-  bayes::PropagationModel model{/*p_avg=*/0.04, /*similarity_weight=*/0.30,
-                                /*consider_similarity=*/true};
-  AttackerStrategy strategy = AttackerStrategy::Sophisticated;
-  /// Chance a Uniform attacker skips an attack opportunity this tick.
-  double silent_probability = 0.0;
-  /// Censoring horizon per run.
-  std::size_t max_ticks = 100'000;
-  /// Defender model (§IX's defensive-evaluation extension): each infected
-  /// host other than the attacker's entry foothold is detected per tick
-  /// with this probability and remediated — cleaned, patched and immune
-  /// for the rest of the run.  0 disables the defender (the paper's
-  /// setting).  With an active defender the worm can be eradicated before
-  /// reaching the target, so MTTC runs may censor at `max_ticks`.
-  double detection_probability = 0.0;
-};
-
-struct RunResult {
-  bool target_reached = false;
-  std::size_t ticks = 0;           ///< tick at which the target fell (or horizon)
-  std::size_t infected_count = 0;  ///< hosts infected when the run ended
-};
-
-struct MttcResult {
-  double mean = 0.0;
-  double std_dev = 0.0;
-  double ci95_half_width = 0.0;
-  std::size_t runs = 0;
-  std::size_t censored = 0;  ///< runs that hit max_ticks without compromise
-};
-
 class WormSimulator {
  public:
-  /// Precomputes per-directed-link channel probabilities for `assignment`;
-  /// the assignment is only read during construction (a temporary is fine).
-  WormSimulator(const core::Assignment& assignment, SimulationParams params);
+  /// Precomputes the compiled propagation tables for `assignment`; the
+  /// assignment is only read during construction (a temporary is fine).
+  WormSimulator(const core::Assignment& assignment, SimulationParams params)
+      : compiled_(assignment, params) {}
 
-  [[nodiscard]] const SimulationParams& params() const noexcept { return params_; }
+  [[nodiscard]] const SimulationParams& params() const noexcept { return compiled_.params(); }
+
+  /// The flat substrate, for callers that manage their own SimState.
+  [[nodiscard]] const CompiledPropagation& compiled() const noexcept { return compiled_; }
 
   /// One simulation run; deterministic given `rng`'s state.
   [[nodiscard]] RunResult run_once(core::HostId entry, core::HostId target,
                                    support::Rng& rng) const;
 
-  /// Infected-host counts per tick for one run (epidemic curve).
-  [[nodiscard]] std::vector<std::size_t> epidemic_curve(core::HostId entry,
-                                                        std::size_t ticks,
+  /// Scratch-reusing variant for tight Monte-Carlo loops.
+  RunResult run_once(core::HostId entry, core::HostId target, support::Rng& rng,
+                     SimState& state) const {
+    return compiled_.run_once(entry, target, rng, state);
+  }
+
+  /// Cumulative infected-host counts per tick for one run (epidemic curve).
+  [[nodiscard]] std::vector<std::size_t> epidemic_curve(core::HostId entry, std::size_t ticks,
                                                         support::Rng& rng) const;
 
-  /// MTTC over `runs` independent runs; runs execute on the global thread
-  /// pool when `parallel` (deterministic per-run seeding either way).
+  /// MTTC over `runs` independent runs; chunked across the global thread
+  /// pool when `parallel` (`threads` caps the chunk count; 0 = pool
+  /// width).  Deterministic per-run seeding makes the result bit-identical
+  /// for every thread count, the sequential path included.
   [[nodiscard]] MttcResult mttc(core::HostId entry, core::HostId target, std::size_t runs,
-                                std::uint64_t seed, bool parallel = true) const;
+                                std::uint64_t seed, bool parallel = true,
+                                std::size_t threads = 0) const {
+    return compiled_.mttc(entry, target, runs, seed, parallel, threads);
+  }
 
  private:
-  struct DirectedLink {
-    core::HostId to;
-    std::vector<double> channel_probabilities;  ///< similarity channels
-    double best_probability;                    ///< max(channels, baseline)
-  };
-
-  struct TickState {
-    std::vector<bool> infected;
-    std::vector<bool> immune;   ///< remediated by the defender
-    std::vector<core::HostId> active;
-    core::HostId entry;
-  };
-
-  /// Advances one tick; returns true when the target was infected.
-  bool tick(TickState& state, core::HostId target, support::Rng& rng) const;
-
-  SimulationParams params_;
-  std::vector<std::vector<DirectedLink>> adjacency_;  ///< per source host
-  std::size_t host_count_ = 0;
+  CompiledPropagation compiled_;
 };
 
 }  // namespace icsdiv::sim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <sstream>
 
 #include "runner/batch_runner.hpp"
@@ -87,6 +88,98 @@ TEST(ScenarioGrid, IntegerAxesRejectFractionsInsteadOfTruncating) {
   EXPECT_EQ(grid.seeds, (std::vector<std::uint64_t>{9007199254740993ULL}));
 }
 
+TEST(ScenarioGrid, RejectsNegativeMaxIterationsAndBadTolerance) {
+  // A negative int used to wrap to a huge size_t and run effectively
+  // forever; non-finite tolerances disabled convergence checks silently.
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"max_iterations": -5})")),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"tolerance": -1e-6})")),
+               InvalidArgument);
+  support::JsonObject with_infinity;
+  with_infinity.set("tolerance", std::numeric_limits<double>::infinity());
+  EXPECT_THROW(ScenarioGrid::from_json(with_infinity), InvalidArgument);
+  support::JsonObject with_nan;
+  with_nan.set("tolerance", std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(ScenarioGrid::from_json(with_nan), InvalidArgument);
+  // The happy path still parses.
+  const ScenarioGrid grid = ScenarioGrid::from_json(
+      support::Json::parse(R"({"max_iterations": 12, "tolerance": 1e-7})"));
+  EXPECT_EQ(grid.solve.max_iterations, 12u);
+  EXPECT_DOUBLE_EQ(grid.solve.tolerance, 1e-7);
+}
+
+TEST(AttackGrid, JsonRoundTripAndExpansion) {
+  const support::Json parsed = support::Json::parse(R"({
+    "hosts": [14],
+    "degrees": 4,
+    "services": 2,
+    "products_per_service": 3,
+    "solvers": ["icm"],
+    "seeds": [3],
+    "max_iterations": 20,
+    "attack": {
+      "entries": [0, 1],
+      "target": 13,
+      "strategies": ["sophisticated", "uniform"],
+      "detections": [0.0, 0.1],
+      "runs": 25,
+      "max_ticks": 300,
+      "seed": 77
+    }
+  })");
+  const ScenarioGrid grid = ScenarioGrid::from_json(parsed);
+  ASSERT_TRUE(grid.attack.has_value());
+  EXPECT_EQ(grid.attack->entries, (std::vector<core::HostId>{0, 1}));
+  EXPECT_EQ(grid.attack->target, 13u);
+  EXPECT_EQ(grid.attack->runs, 25u);
+  EXPECT_EQ(grid.attack->max_ticks, 300u);
+  EXPECT_EQ(grid.attack->seed, 77u);
+  // The attack axes multiply the grid: 1 solve cell × 2 strategies × 2
+  // detections.
+  EXPECT_EQ(grid.size(), 4u);
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 4u);
+  ASSERT_TRUE(specs[0].attack.has_value());
+  EXPECT_EQ(specs[0].attack->strategy, "sophisticated");
+  EXPECT_DOUBLE_EQ(specs[0].attack->detection, 0.0);
+  EXPECT_DOUBLE_EQ(specs[1].attack->detection, 0.1);
+  EXPECT_EQ(specs[2].attack->strategy, "uniform");
+  // Names stay unique and carry the attack axes.
+  EXPECT_NE(specs[0].name, specs[1].name);
+  EXPECT_NE(specs[0].name.find("sophisticated"), std::string::npos);
+  EXPECT_NE(specs[1].name.find("det0.1"), std::string::npos);
+
+  const ScenarioGrid reparsed = ScenarioGrid::from_json(grid.to_json());
+  ASSERT_TRUE(reparsed.attack.has_value());
+  EXPECT_EQ(reparsed.attack->entries, grid.attack->entries);
+  EXPECT_EQ(reparsed.attack->strategies, grid.attack->strategies);
+  EXPECT_EQ(reparsed.attack->detections, grid.attack->detections);
+  EXPECT_EQ(reparsed.size(), grid.size());
+}
+
+TEST(AttackGrid, RejectsBadValues) {
+  EXPECT_THROW(ScenarioGrid::from_json(
+                   support::Json::parse(R"({"attack": {"strategies": ["clever"]}})")),
+               InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"detections": [1.5]}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"detections": [-0.1]}})")),
+      InvalidArgument);
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"runs": 0}})")),
+               InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"max_ticks": 0}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"entries": [-1]}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"attack": {"bogus_key": 1}})")),
+      InvalidArgument);
+}
+
 TEST(ConstraintRecipes, UnknownRecipeThrows) {
   const WorkloadInstance instance = make_workload(WorkloadParams{.hosts = 4, .services = 1});
   EXPECT_THROW(apply_constraint_recipe("bogus", *instance.network), InvalidArgument);
@@ -132,6 +225,41 @@ TEST(RunScenario, SolvesAndReportsMetrics) {
   EXPECT_GT(result.normalized_richness, 0.0);
   EXPECT_GE(result.total_similarity, 0.0);
   EXPECT_GE(result.total_similarity, result.average_similarity);  // ≥ 1 link-service pair
+}
+
+TEST(RunScenario, RunsTheAttackBlockOnTheSolvedCell) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 12;
+  spec.workload.average_degree = 4.0;
+  spec.workload.services = 2;
+  spec.workload.products_per_service = 3;
+  spec.solver = "icm";
+  spec.seed = 5;
+  AttackSpec attack;
+  attack.entries = {0, 1};
+  attack.target = 11;
+  attack.runs = 30;
+  attack.max_ticks = 2000;
+  spec.attack = attack;
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.attacked);
+  EXPECT_EQ(result.attack_strategy, "sophisticated");
+  EXPECT_EQ(result.mttc_runs, 60u);  // 2 entries × 30 runs
+  EXPECT_GT(result.mttc_mean, 0.0);
+  EXPECT_LE(result.mttc_censored, result.mttc_runs);
+}
+
+TEST(RunScenario, AttackHostsOutsideTheWorkloadFailTheCell) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 8;
+  spec.workload.services = 1;
+  AttackSpec attack;
+  attack.entries = {0};
+  attack.target = 99;  // not a host of an 8-host workload
+  spec.attack = attack;
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_FALSE(result.error.empty());
 }
 
 TEST(RunScenario, CapturesFailuresPerCell) {
@@ -181,6 +309,80 @@ TEST(BatchRunner, SameGridAndSeedIsIdenticalAcrossThreadCounts) {
   // And the engine really used different shard widths.
   EXPECT_EQ(a.threads, 1u);
   EXPECT_EQ(b.threads, 4u);
+}
+
+TEST(BatchRunner, AttackGridIsIdenticalAcrossThreadCounts) {
+  ScenarioGrid grid;
+  grid.name = "attack-determinism";
+  grid.hosts = {12};
+  grid.degrees = {4.0};
+  grid.services = {2};
+  grid.products_per_service = {3};
+  grid.solvers = {"icm"};
+  grid.seeds = {7};
+  grid.solve.max_iterations = 20;
+  AttackGrid attack;
+  attack.entries = {0, 1};
+  attack.target = 11;
+  attack.strategies = {"sophisticated", "uniform"};
+  attack.detections = {0.0, 0.2};
+  attack.runs = 20;
+  attack.max_ticks = 500;
+  grid.attack = attack;
+
+  BatchOptions serial;
+  serial.threads = 1;
+  serial.inner_parallel = false;
+  BatchOptions parallel;
+  parallel.threads = 4;
+  parallel.inner_parallel = true;  // in-cell MTTC fan-out must not matter
+
+  const BatchReport a = BatchRunner(serial).run(grid);
+  const BatchReport b = BatchRunner(parallel).run(grid);
+  ASSERT_EQ(a.results.size(), 4u);
+  EXPECT_EQ(a.failed_count(), 0u) << a.results[0].error;
+  EXPECT_EQ(deterministic_csv(a), deterministic_csv(b));
+  // The attack columns actually carry data.
+  EXPECT_TRUE(a.results[0].attacked);
+  EXPECT_EQ(a.results[0].mttc_runs, 40u);
+  // JSON aggregates split by (strategy, detection) and report MTTC.
+  const support::Json json = a.to_json();
+  const auto& aggregates = json.as_object().at("aggregates").as_array();
+  EXPECT_EQ(aggregates.size(), 4u);
+  EXPECT_TRUE(aggregates[0].as_object().contains("mean_mttc"));
+  EXPECT_TRUE(aggregates[0].as_object().contains("censored_rate"));
+  EXPECT_FALSE(json.dump().empty());
+}
+
+TEST(BatchRunner, FailedAttackCellsKeepTheirAxisGroup) {
+  ScenarioGrid grid;
+  grid.hosts = {10};
+  grid.degrees = {3.0};
+  grid.services = {1};
+  grid.products_per_service = {2};
+  grid.solvers = {"no-such-solver"};
+  grid.seeds = {2};
+  AttackGrid attack;
+  attack.entries = {0};
+  attack.target = 9;
+  attack.strategies = {"sophisticated", "uniform"};
+  attack.detections = {0.0};
+  attack.runs = 10;
+  grid.attack = attack;
+
+  const BatchReport report = BatchRunner(BatchOptions{.threads = 1}).run(grid);
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(report.failed_count(), 2u);
+  // A cell that never solved still echoes its attack axes, so the JSON
+  // aggregates attribute the failure to the right (strategy, detection)
+  // group instead of a phantom no-attack group.
+  EXPECT_EQ(report.results[0].attack_strategy, "sophisticated");
+  EXPECT_EQ(report.results[1].attack_strategy, "uniform");
+  EXPECT_FALSE(report.results[0].attacked);
+  const support::Json json = report.to_json();
+  const auto& aggregates = json.as_object().at("aggregates").as_array();
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_EQ(aggregates[0].as_object().at("failures").as_integer(), 1);
 }
 
 TEST(BatchRunner, OnResultFiresOncePerCell) {

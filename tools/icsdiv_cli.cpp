@@ -129,6 +129,13 @@ int run_evaluate(const Arguments& args) {
     const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
     const auto mttc = simulator.mttc(entry, target, 500, 1);
     table.add_row({"MTTC (ticks, 500 runs)", support::TextTable::num(mttc.mean, 1)});
+    if (mttc.censored > 0) {
+      table.add_row({"MTTC censored runs",
+                     std::to_string(mttc.censored) + "/" + std::to_string(mttc.runs)});
+      if (mttc.censored < mttc.runs) {
+        table.add_row({"MTTC uncensored mean", support::TextTable::num(mttc.uncensored_mean, 1)});
+      }
+    }
   }
   table.print(std::cout);
   return 0;
@@ -213,15 +220,30 @@ int run_batch(const Arguments& args) {
             << " scenarios succeeded on " << report.threads << " threads in "
             << report.wall_seconds << " s\n";
 
-  support::TextTable table({"scenario", "solver", "constraints", "energy", "avg sim",
-                            "richness", "solve s", "status"});
+  const bool attacked = grid.attack.has_value();
+  std::vector<std::string> columns{"scenario", "solver", "constraints", "energy",
+                                   "avg sim",  "richness", "solve s"};
+  if (attacked) columns.insert(columns.end(), {"mttc", "mttc unc.", "censored"});
+  columns.push_back("status");
+  support::TextTable table(columns);
   for (const runner::ScenarioResult& r : report.results) {
-    table.add_row({r.name, r.solver, r.constraints,
-                   r.error.empty() ? support::TextTable::num(r.energy, 3) : "-",
-                   r.error.empty() ? support::TextTable::num(r.average_similarity, 4) : "-",
-                   r.error.empty() ? support::TextTable::num(r.normalized_richness, 3) : "-",
-                   r.error.empty() ? support::TextTable::num(r.solve_seconds, 3) : "-",
-                   r.error.empty() ? "ok" : r.error});
+    std::vector<std::string> row{
+        r.name, r.solver, r.constraints,
+        r.error.empty() ? support::TextTable::num(r.energy, 3) : "-",
+        r.error.empty() ? support::TextTable::num(r.average_similarity, 4) : "-",
+        r.error.empty() ? support::TextTable::num(r.normalized_richness, 3) : "-",
+        r.error.empty() ? support::TextTable::num(r.solve_seconds, 3) : "-"};
+    if (attacked) {
+      const bool ok = r.error.empty() && r.attacked;
+      row.push_back(ok ? support::TextTable::num(r.mttc_mean, 1) : "-");
+      row.push_back(ok && r.mttc_censored < r.mttc_runs
+                        ? support::TextTable::num(r.mttc_uncensored_mean, 1)
+                        : "-");
+      row.push_back(ok ? std::to_string(r.mttc_censored) + "/" + std::to_string(r.mttc_runs)
+                       : "-");
+    }
+    row.push_back(r.error.empty() ? "ok" : r.error);
+    table.add_row(row);
   }
   table.print(std::cout);
 

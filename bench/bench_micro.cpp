@@ -3,6 +3,7 @@
 // simulator tick loop, and JSON feed parsing.
 #include <benchmark/benchmark.h>
 
+#include "bayes/metric.hpp"
 #include "bayes/reliability.hpp"
 #include "bench_util.hpp"
 #include "core/optimizer.hpp"
@@ -149,6 +150,68 @@ void BM_ReliabilityMonteCarlo(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReliabilityMonteCarlo)->Arg(1000)->Arg(10000);
+
+// The compiled Bayesian pillar shares the worm-simulator workload shape
+// (500 hosts, average degree 10, 3 services): ~2.5k attack-DAG edges, the
+// entry at host 0 and the far target at host 499.
+void BM_CompileReliability(benchmark::State& state) {
+  bench::ScalabilityParams params;
+  params.hosts = 500;
+  params.average_degree = 10.0;
+  params.services = 3;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  const auto assignment = optimizer.optimize().assignment;
+  for (auto _ : state) {
+    const bayes::CompiledReliability compiled(assignment, 0, bayes::PropagationModel{});
+    benchmark::DoNotOptimize(compiled.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2500);
+}
+BENCHMARK(BM_CompileReliability);
+
+void BM_Reliability(benchmark::State& state) {
+  // Single-target Monte-Carlo compromise probability on the compiled
+  // substrate, sequential (the README table's before/after row).
+  bench::ScalabilityParams params;
+  params.hosts = 500;
+  params.average_degree = 10.0;
+  params.services = 3;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  const auto assignment = optimizer.optimize().assignment;
+  const bayes::CompiledReliability compiled(assignment, 0, bayes::PropagationModel{});
+  bayes::InferenceOptions mc;
+  mc.engine = bayes::InferenceEngine::MonteCarlo;
+  mc.mc_samples = static_cast<std::size_t>(state.range(0));
+  mc.parallel = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.compromise_probability(499, mc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Reliability)->Arg(10000)->Arg(100000);
+
+void BM_DbnMetric(benchmark::State& state) {
+  // The full Def. 6 query — both nets — through bn_diversity_metric's
+  // one-compile one-pass path, sequential.
+  bench::ScalabilityParams params;
+  params.hosts = 500;
+  params.average_degree = 10.0;
+  params.services = 3;
+  const auto instance = bench::make_scalability_instance(params);
+  const core::Optimizer optimizer(*instance.network);
+  const auto assignment = optimizer.optimize().assignment;
+  bayes::DiversityMetricOptions options;
+  options.inference.engine = bayes::InferenceEngine::MonteCarlo;
+  options.inference.mc_samples = static_cast<std::size_t>(state.range(0));
+  options.inference.parallel = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bayes::bn_diversity_metric(assignment, 0, 499, options).d_bn);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DbnMetric)->Arg(50000)->Arg(400000);
 
 void BM_WormTick(benchmark::State& state) {
   bench::ScalabilityParams params;

@@ -5,26 +5,16 @@
 // the entry; see graph/layered_dag.hpp) whose edges carry the infection
 // rates of the propagation model.  The probability of any host being
 // compromised is then a two-terminal reliability query on that DAG.
+//
+// The heavy lifting lives in bayes::CompiledReliability (compiled.hpp):
+// one flat substrate per (assignment, entry, model) that answers every
+// target in one pass.  This class is the convenient single-query facade —
+// it owns the compiled substrate, mirroring sim::WormSimulator.
 #pragma once
 
-#include "bayes/propagation.hpp"
-#include "bayes/reliability.hpp"
-#include "graph/layered_dag.hpp"
+#include "bayes/compiled.hpp"
 
 namespace icsdiv::bayes {
-
-enum class InferenceEngine {
-  Auto,        ///< exact when the reduced DAG is small enough, else MC
-  Exact,       ///< factoring; throws Infeasible on oversized problems
-  MonteCarlo,  ///< sampling
-};
-
-struct InferenceOptions {
-  InferenceEngine engine = InferenceEngine::Auto;
-  std::size_t exact_max_edges = 40;
-  std::size_t mc_samples = 400'000;
-  std::uint64_t seed = 99;
-};
 
 class AttackBayesNet {
  public:
@@ -32,28 +22,34 @@ class AttackBayesNet {
   /// The assignment is only read during construction (a temporary is fine);
   /// the underlying Network must outlive the BN.
   AttackBayesNet(const core::Assignment& assignment, core::HostId entry,
-                 PropagationModel model);
+                 PropagationModel model)
+      : compiled_(assignment, entry, model) {}
 
-  [[nodiscard]] const graph::LayeredDag& dag() const noexcept { return dag_; }
-  [[nodiscard]] const PropagationModel& model() const noexcept { return model_; }
-  [[nodiscard]] core::HostId entry() const noexcept { return entry_; }
+  [[nodiscard]] const graph::LayeredDag& dag() const noexcept { return compiled_.dag(); }
+  [[nodiscard]] const PropagationModel& model() const noexcept { return compiled_.model(); }
+  [[nodiscard]] core::HostId entry() const noexcept { return compiled_.entry(); }
+
+  /// The flat substrate, for callers that run multi-target sweeps.
+  [[nodiscard]] const CompiledReliability& compiled() const noexcept { return compiled_; }
 
   /// Infection rate of the k-th DAG edge.
-  [[nodiscard]] double edge_rate(std::size_t dag_edge_index) const;
+  [[nodiscard]] double edge_rate(std::size_t dag_edge_index) const {
+    return compiled_.edge_rate(dag_edge_index);
+  }
 
   /// P(target compromised | entry compromised with probability 1).
   [[nodiscard]] double compromise_probability(core::HostId target,
-                                              const InferenceOptions& options = {}) const;
+                                              const InferenceOptions& options = {}) const {
+    return compiled_.compromise_probability(target, options);
+  }
 
   /// The reliability problem for a target (exposed for tests/benches).
-  [[nodiscard]] ReliabilityProblem reliability_problem(core::HostId target) const;
+  [[nodiscard]] ReliabilityProblem reliability_problem(core::HostId target) const {
+    return compiled_.reliability_problem(target);
+  }
 
  private:
-  const core::Network* network_;
-  core::HostId entry_;
-  PropagationModel model_;
-  graph::LayeredDag dag_;
-  std::vector<double> rates_;  ///< aligned with dag_.edges()
+  CompiledReliability compiled_;
 };
 
 }  // namespace icsdiv::bayes

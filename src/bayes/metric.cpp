@@ -10,18 +10,18 @@ double DiversityMetricResult::log10_without() const { return std::log10(p_withou
 DiversityMetricResult bn_diversity_metric(const core::Assignment& assignment, core::HostId entry,
                                           core::HostId target,
                                           const DiversityMetricOptions& options) {
+  // One compiled substrate resolves both nets: the model's noisy-OR rates
+  // (P) and the flat P_avg baseline (P') share the build — and, under the
+  // Monte-Carlo engine, a single coupled sampling pass.
+  PropagationModel model = options.model;
+  model.consider_similarity = true;
+  const CompiledReliability compiled(assignment, entry, model);
+  const core::HostId targets[] = {target};
+  const ReliabilitySweep sweep = compiled.solve_targets(targets, options.inference);
+
   DiversityMetricResult result;
-
-  PropagationModel with = options.model;
-  with.consider_similarity = true;
-  const AttackBayesNet bn_with(assignment, entry, with);
-  result.p_with_similarity = bn_with.compromise_probability(target, options.inference);
-
-  PropagationModel without = options.model;
-  without.consider_similarity = false;
-  const AttackBayesNet bn_without(assignment, entry, without);
-  result.p_without_similarity = bn_without.compromise_probability(target, options.inference);
-
+  result.p_with_similarity = sweep.p[target];
+  result.p_without_similarity = sweep.p_baseline[target];
   require(result.p_with_similarity > 0.0, "bn_diversity_metric",
           "target is unreachable from the entry (P = 0); d_bn is undefined");
   result.d_bn = result.p_without_similarity / result.p_with_similarity;

@@ -4,6 +4,8 @@
 #include <deque>
 #include <map>
 
+#include "bayes/compiled.hpp"
+
 namespace icsdiv::bayes {
 
 void ReliabilityProblem::validate() const {
@@ -204,41 +206,12 @@ double reliability_exact(const ReliabilityProblem& problem, std::size_t max_edge
 
 double reliability_monte_carlo(const ReliabilityProblem& problem, std::size_t samples,
                                support::Rng& rng) {
-  problem.validate();
-  require(samples > 0, "reliability_monte_carlo", "need at least one sample");
-
-  // Adjacency for BFS; edge coins are flipped lazily on first traversal,
-  // which is equivalent to flipping all up-front because BFS examines each
-  // edge at most once per trial.
-  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency(problem.node_count);
-  for (const ReliabilityEdge& e : problem.edges) {
-    adjacency[e.from].emplace_back(e.to, e.probability);
-  }
-
-  std::size_t hits = 0;
-  std::vector<bool> reached(problem.node_count);
-  std::deque<std::uint32_t> frontier;
-  for (std::size_t trial = 0; trial < samples; ++trial) {
-    std::fill(reached.begin(), reached.end(), false);
-    reached[problem.source] = true;
-    frontier.assign(1, problem.source);
-    bool found = problem.source == problem.target;
-    while (!frontier.empty() && !found) {
-      const std::uint32_t u = frontier.front();
-      frontier.pop_front();
-      for (const auto& [v, p] : adjacency[u]) {
-        if (reached[v] || !rng.bernoulli(p)) continue;
-        reached[v] = true;
-        if (v == problem.target) {
-          found = true;
-          break;
-        }
-        frontier.push_back(v);
-      }
-    }
-    if (found) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(samples);
+  // Facade over the compiled generic-digraph substrate (see compiled.hpp):
+  // the CSR adjacency preserves the historical per-node edge order and the
+  // lazy per-edge coins consume `rng` in the seed-era sequence, so per-seed
+  // estimates are bit-identical to the pre-compiled implementation.
+  const CompiledConnectivity compiled(problem);
+  return compiled.estimate(samples, rng);
 }
 
 }  // namespace icsdiv::bayes

@@ -6,7 +6,9 @@
 // general; our exact engine runs the classic factoring algorithm with
 // series/parallel/irrelevant-branch reductions, which handles the
 // case-study-sized attack DAGs (tens of edges) instantly.  A Monte-Carlo
-// engine covers arbitrary sizes and cross-validates the exact one in tests.
+// engine covers arbitrary sizes and cross-validates the exact one in tests;
+// its sampling loop runs on the compiled substrate (compiled.hpp) while
+// preserving the seed-era RNG stream bit-for-bit.
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,7 @@
 #include <thread>
 #include <tuple>
 
+#include "bayes/compiled.hpp"
 #include "core/metrics.hpp"
 #include "core/optimizer.hpp"
 #include "sim/worm_sim.hpp"
@@ -88,6 +89,56 @@ void run_attack(const AttackSpec& attack, const core::Assignment& assignment, bo
   result.attack_seconds = watch.seconds();
 }
 
+/// Runs the spec's metrics block on the solved assignment: one compiled
+/// reliability substrate per entry answers all of that entry's targets in
+/// a single pass, and Def. 6 aggregates into `result` (deterministic given
+/// the spec — the sharded sampler is bit-identical at any thread count).
+void run_metrics(const MetricsSpec& metrics, const core::Assignment& assignment, bool parallel,
+                 ScenarioResult& result) {
+  require(!metrics.entries.empty(), "run_metrics", "metrics block needs at least one entry");
+  require(!metrics.targets.empty(), "run_metrics", "metrics block needs at least one target");
+
+  support::Stopwatch watch;
+  bayes::InferenceOptions inference;
+  inference.engine = bayes::inference_engine_from_name(metrics.engine);
+  inference.mc_samples = metrics.samples;
+  inference.exact_max_edges = metrics.exact_max_edges;
+  inference.parallel = parallel;
+
+  double d_bn_sum = 0.0;
+  double with_sum = 0.0;
+  double without_sum = 0.0;
+  double d_bn_min = std::numeric_limits<double>::infinity();
+  for (std::size_t e = 0; e < metrics.entries.size(); ++e) {
+    // Distinct deterministic stream per entry — the attack block's
+    // per-entry formula.
+    inference.seed = metrics.seed + 1000003ULL * e;
+    const bayes::CompiledReliability compiled(assignment, metrics.entries[e],
+                                              bayes::PropagationModel{});
+    const bayes::ReliabilitySweep sweep = compiled.solve_targets(metrics.targets, inference);
+    for (const core::HostId target : metrics.targets) {
+      const double p_with = sweep.p[target];
+      const double p_without = sweep.p_baseline[target];
+      require(p_with > 0.0, "run_metrics",
+              "metrics target " + std::to_string(target) + " is unreachable from entry " +
+                  std::to_string(metrics.entries[e]) + " (d_bn is undefined)");
+      const double d_bn = p_without / p_with;
+      d_bn_sum += d_bn;
+      with_sum += p_with;
+      without_sum += p_without;
+      d_bn_min = std::min(d_bn_min, d_bn);
+    }
+  }
+  const auto pairs = static_cast<double>(metrics.entries.size() * metrics.targets.size());
+  result.metrics_evaluated = true;
+  result.metric_pairs = metrics.entries.size() * metrics.targets.size();
+  result.d_bn_mean = d_bn_sum / pairs;
+  result.d_bn_min = d_bn_min;
+  result.p_with_mean = with_sum / pairs;
+  result.p_without_mean = without_sum / pairs;
+  result.metric_seconds = watch.seconds();
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_parallel) {
@@ -106,6 +157,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_
     result.attack_strategy = spec.attack->strategy;
     result.attack_detection = spec.attack->detection;
   }
+  if (spec.metrics) result.metric_engine = spec.metrics->engine;
   try {
     WorkloadParams workload = spec.workload;
     workload.seed = spec.seed;  // the scenario seed is the cell's RNG stream
@@ -142,6 +194,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_
 
     if (spec.attack) {
       run_attack(*spec.attack, outcome.assignment, options.parallel, result);
+    }
+    if (spec.metrics) {
+      run_metrics(*spec.metrics, outcome.assignment, options.parallel, result);
     }
   } catch (const std::exception& error) {
     result.error = error.what();
@@ -208,11 +263,14 @@ void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
       "links",       "variables",  "energy",           "lower_bound",
       "iterations",  "converged",  "satisfied",        "total_similarity",
       "avg_similarity", "richness"};
-  // Attack columns stay empty for solve-only cells.
+  // Attack/metrics columns stay empty for solve-only cells.
   header.insert(header.end(), {"attack_strategy", "attack_detection", "mttc_mean",
                                "mttc_uncensored_mean", "mttc_censored", "mttc_runs"});
+  header.insert(header.end(), {"metric_engine", "metric_pairs", "d_bn_mean", "d_bn_min",
+                               "p_with_mean", "p_without_mean"});
   if (include_timings) {
-    header.insert(header.end(), {"build_seconds", "solve_seconds", "attack_seconds"});
+    header.insert(header.end(),
+                  {"build_seconds", "solve_seconds", "attack_seconds", "metric_seconds"});
   }
   header.push_back("error");
   writer.write_row(header);
@@ -248,10 +306,23 @@ void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
     } else {
       row.insert(row.end(), 6, "");
     }
+    if (r.metrics_evaluated) {
+      row.insert(row.end(),
+                 {r.metric_engine, std::to_string(r.metric_pairs), format_double(r.d_bn_mean),
+                  format_double(r.d_bn_min), format_double(r.p_with_mean),
+                  format_double(r.p_without_mean)});
+    } else if (!r.metric_engine.empty()) {
+      // Failed metrics cell: echo the engine, leave the numbers empty.
+      row.push_back(r.metric_engine);
+      row.insert(row.end(), 5, "");
+    } else {
+      row.insert(row.end(), 6, "");
+    }
     if (include_timings) {
       row.push_back(format_double(r.build_seconds));
       row.push_back(format_double(r.solve_seconds));
       row.push_back(r.attacked ? format_double(r.attack_seconds) : "");
+      row.push_back(r.metrics_evaluated ? format_double(r.metric_seconds) : "");
     }
     row.push_back(r.error);
     writer.write_row(row);
@@ -303,6 +374,17 @@ support::Json BatchReport::to_json() const {
       attack.set("attack_seconds", r.attack_seconds);
       cell.set("attack", std::move(attack));
     }
+    if (r.metrics_evaluated) {
+      support::JsonObject metrics;
+      metrics.set("engine", r.metric_engine);
+      metrics.set("pairs", r.metric_pairs);
+      metrics.set("d_bn_mean", json_number(r.d_bn_mean));
+      metrics.set("d_bn_min", json_number(r.d_bn_min));
+      metrics.set("p_with_mean", json_number(r.p_with_mean));
+      metrics.set("p_without_mean", json_number(r.p_without_mean));
+      metrics.set("metric_seconds", r.metric_seconds);
+      cell.set("metrics", std::move(metrics));
+    }
     cell.set("build_seconds", r.build_seconds);
     cell.set("solve_seconds", r.solve_seconds);
     cells.emplace_back(std::move(cell));
@@ -323,6 +405,8 @@ support::Json BatchReport::to_json() const {
     double mttc = 0.0;
     std::size_t mttc_runs = 0;
     std::size_t mttc_censored = 0;
+    bool metrics = false;
+    double d_bn = 0.0;
   };
   using GroupKey = std::tuple<std::string, std::string, std::string, double>;
   std::map<GroupKey, Aggregate> groups;
@@ -343,6 +427,10 @@ support::Json BatchReport::to_json() const {
       group.mttc += r.mttc_mean;
       group.mttc_runs += r.mttc_runs;
       group.mttc_censored += r.mttc_censored;
+    }
+    if (r.metrics_evaluated) {
+      group.metrics = true;
+      group.d_bn += r.d_bn_mean;
     }
   }
   support::JsonArray aggregates;
@@ -368,6 +456,9 @@ support::Json BatchReport::to_json() const {
                     ? json_number(static_cast<double>(group.mttc_censored) /
                                   static_cast<double>(group.mttc_runs))
                     : support::Json(nullptr));
+    }
+    if (group.metrics) {
+      entry.set("mean_d_bn", ok > 0 ? json_number(group.d_bn / ok) : support::Json(nullptr));
     }
     aggregates.emplace_back(std::move(entry));
   }

@@ -61,10 +61,22 @@ struct ScenarioResult {
   double mttc_mean = 0.0;
   double mttc_uncensored_mean = 0.0;
   std::size_t mttc_censored = 0;
+  // BN diversity metrics (deterministic; populated when the spec carried a
+  // metrics block).  Aggregated over every entry × target pair of the
+  // cell: `d_bn_mean`/`d_bn_min` summarise Def. 6, `p_with_mean` /
+  // `p_without_mean` the underlying compromise probabilities.
+  bool metrics_evaluated = false;
+  std::string metric_engine;
+  std::size_t metric_pairs = 0;
+  double d_bn_mean = 0.0;
+  double d_bn_min = 0.0;
+  double p_with_mean = 0.0;
+  double p_without_mean = 0.0;
   // Wall-clock (machine-dependent; excluded from determinism checks).
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
   double attack_seconds = 0.0;
+  double metric_seconds = 0.0;
   /// Non-empty when the cell threw; every other field but index/name/axes
   /// is then meaningless.
   std::string error;

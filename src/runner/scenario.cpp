@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "bayes/compiled.hpp"
+
 namespace icsdiv::runner {
 
 namespace {
@@ -111,6 +113,7 @@ std::vector<ScenarioSpec> ScenarioGrid::expand() const {
                       cell.seed = attack->seed;
                       spec.attack = std::move(cell);
                     }
+                    spec.metrics = metrics;
                     spec.name = spec.derive_name();
                     specs.push_back(std::move(spec));
                   }
@@ -215,6 +218,35 @@ AttackGrid attack_grid_from_json(const support::Json& json) {
   return attack;
 }
 
+MetricsSpec metrics_spec_from_json(const support::Json& json) {
+  MetricsSpec metrics;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "entries") {
+      metrics.entries = integer_axis<core::HostId>(value, "metrics.entries");
+    } else if (key == "targets") {
+      metrics.targets = integer_axis<core::HostId>(value, "metrics.targets");
+    } else if (key == "engine") {
+      metrics.engine = value.as_string();
+      // One source of truth for the name set and its error message.
+      (void)bayes::inference_engine_from_name(metrics.engine);
+    } else if (key == "samples") {
+      metrics.samples = static_cast<std::size_t>(non_negative_integer(value, "metrics.samples"));
+      require(metrics.samples > 0, "ScenarioGrid::from_json",
+              "metrics.samples must be positive");
+    } else if (key == "exact_max_edges") {
+      metrics.exact_max_edges =
+          static_cast<std::size_t>(non_negative_integer(value, "metrics.exact_max_edges"));
+      require(metrics.exact_max_edges > 0, "ScenarioGrid::from_json",
+              "metrics.exact_max_edges must be positive");
+    } else if (key == "seed") {
+      metrics.seed = non_negative_integer(value, "metrics.seed");
+    } else {
+      throw InvalidArgument("ScenarioGrid::from_json: unknown key: metrics." + key);
+    }
+  }
+  return metrics;
+}
+
 }  // namespace
 
 ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
@@ -252,6 +284,8 @@ ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
       grid.solve.tolerance = tolerance;
     } else if (key == "attack") {
       grid.attack = attack_grid_from_json(value);
+    } else if (key == "metrics") {
+      grid.metrics = metrics_spec_from_json(value);
     } else {
       throw InvalidArgument("ScenarioGrid::from_json: unknown key: " + key);
     }
@@ -296,6 +330,24 @@ support::Json ScenarioGrid::to_json() const {
     attack_object.set("max_ticks", attack->max_ticks);
     attack_object.set("seed", static_cast<std::int64_t>(attack->seed));
     object.set("attack", std::move(attack_object));
+  }
+  if (metrics) {
+    support::JsonObject metrics_object;
+    support::JsonArray entries;
+    for (const core::HostId entry : metrics->entries) {
+      entries.emplace_back(static_cast<std::int64_t>(entry));
+    }
+    metrics_object.set("entries", std::move(entries));
+    support::JsonArray targets;
+    for (const core::HostId target : metrics->targets) {
+      targets.emplace_back(static_cast<std::int64_t>(target));
+    }
+    metrics_object.set("targets", std::move(targets));
+    metrics_object.set("engine", metrics->engine);
+    metrics_object.set("samples", metrics->samples);
+    metrics_object.set("exact_max_edges", metrics->exact_max_edges);
+    metrics_object.set("seed", static_cast<std::int64_t>(metrics->seed));
+    object.set("metrics", std::move(metrics_object));
   }
   return object;
 }

@@ -40,6 +40,26 @@ namespace icsdiv::runner {
 /// spellings; resolved by the batch runner when the cell executes).
 [[nodiscard]] std::vector<std::string> attacker_strategy_names();
 
+/// BN diversity-metric evaluation attached to a cell (§VI / Table V):
+/// after the solve, Def. 6 (d_bn = P'/P) is evaluated for every
+/// entry × target pair on the diversified assignment — one
+/// bayes::CompiledReliability build per entry answers all of that entry's
+/// targets in a single inference pass.  Host ids refer to the generated
+/// workload (0 .. hosts-1); every target must be reachable from every
+/// entry (d_bn is undefined otherwise and the cell fails).
+struct MetricsSpec {
+  std::vector<core::HostId> entries{0};
+  std::vector<core::HostId> targets{0};
+  /// "auto", "exact" or "montecarlo" (bayes::InferenceEngine).
+  std::string engine = "auto";
+  /// Monte-Carlo samples per inference pass.
+  std::size_t samples = 400'000;
+  /// Factoring budget for the exact engine.
+  std::size_t exact_max_edges = 40;
+  /// Per-entry inference streams derive deterministically from this.
+  std::uint64_t seed = 99;
+};
+
 /// Worm-propagation evaluation attached to a cell (§VII-C2 / Table VI,
 /// with the §IX defender knob): after the solve, MTTC is estimated from
 /// every entry host towards `target` on the diversified assignment.  Host
@@ -74,6 +94,8 @@ struct ScenarioSpec {
   bool parallel = false;
   /// Attack evaluation to run on the solved cell, when present.
   std::optional<AttackSpec> attack;
+  /// d_bn evaluation to run on the solved cell, when present.
+  std::optional<MetricsSpec> metrics;
 
   [[nodiscard]] std::string derive_name() const;
 };
@@ -108,6 +130,10 @@ struct ScenarioGrid {
   mrf::SolveOptions solve;
   /// Attack axes; absent ⇒ solve-only cells (the historical grid shape).
   std::optional<AttackGrid> attack;
+  /// d_bn evaluation applied to every cell; unlike `attack` it carries no
+  /// grid-multiplying axes (entries/targets stay within one cell, sharing
+  /// its compiled substrates).
+  std::optional<MetricsSpec> metrics;
 
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;

@@ -8,16 +8,7 @@
 
 namespace icsdiv::sim {
 
-namespace {
-
-/// ceil(p·2^53): accepts a raw xoshiro word x exactly when
-/// Rng::uniform() = (x>>11)·2⁻⁵³ < p would.  p·2^53 is an exact double
-/// (power-of-two scaling), so no rounding sneaks into the equivalence.
-std::uint64_t acceptance_threshold(double p) noexcept {
-  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
-}
-
-}  // namespace
+using support::acceptance_threshold;
 
 void SimState::begin_run(std::size_t host_count, core::HostId entry_host) {
   if (marked.size() != host_count) {
@@ -256,8 +247,7 @@ MttcResult CompiledPropagation::mttc(core::HostId entry, core::HostId target, st
     for (std::size_t r = lo; r < hi; ++r) {
       // Independent deterministic stream per run — the historical formula,
       // so every chunking (and the sequential path) is bit-identical.
-      std::uint64_t stream = seed + 0x9E3779B97F4A7C15ULL * (r + 1);
-      support::Rng rng(support::splitmix64(stream));
+      support::Rng rng = support::stream_rng(seed, r);
       const RunResult result = run_once(entry, target, rng, state);
       ticks[r] = static_cast<double>(result.ticks);
       censored[r] = result.target_reached ? 0 : 1;

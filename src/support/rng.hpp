@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -26,6 +27,16 @@ namespace icsdiv::support {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+/// ceil(p·2^53): a Bernoulli(p) acceptance threshold over raw generator
+/// words.  `(rng() >> 11) < acceptance_threshold(p)` accepts exactly the
+/// words `Rng::uniform() < p` would — uniform() is (x>>11)·2⁻⁵³ and scaling
+/// a double by a power of two is exact — while costing one integer compare
+/// instead of an int→double conversion per draw.  The compiled simulation
+/// and reliability substrates precompute their probability pools this way.
+[[nodiscard]] inline std::uint64_t acceptance_threshold(double p) noexcept {
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
 }
 
 /// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator so
@@ -122,5 +133,15 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// The library-wide convention for the `index`-th independent stream of a
+/// seeded family: a golden-ratio stride hashed through splitmix64.  Chunked
+/// Monte-Carlo loops that give each run (sim::CompiledPropagation::mttc) or
+/// each sample chunk (bayes::CompiledReliability) its own stream this way
+/// are bit-identical for every chunking, the sequential path included.
+[[nodiscard]] inline Rng stream_rng(std::uint64_t seed, std::uint64_t index) noexcept {
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  return Rng(splitmix64(state));
+}
 
 }  // namespace icsdiv::support

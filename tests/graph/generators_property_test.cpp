@@ -1,0 +1,196 @@
+// Property tests for the random topology generators: per-seed determinism,
+// exact count guarantees, degree bounds, and zone-structure invariants —
+// the systematic companion of the spot checks in generators_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace icsdiv::graph {
+namespace {
+
+/// Same seed ⇒ identical edge lists; a different seed ⇒ a different graph
+/// (for any generator with enough randomness to make collisions absurd).
+template <typename Generator>
+void expect_seed_determinism(Generator&& generate) {
+  support::Rng a(42);
+  support::Rng b(42);
+  const Graph ga = generate(a);
+  const Graph gb = generate(b);
+  ASSERT_EQ(ga.vertex_count(), gb.vertex_count());
+  ASSERT_EQ(ga.edge_count(), gb.edge_count());
+  for (std::size_t i = 0; i < ga.edge_count(); ++i) {
+    EXPECT_EQ(ga.edges()[i], gb.edges()[i]);
+  }
+  support::Rng c(43);
+  const Graph gc = generate(c);
+  const bool identical = gc.edge_count() == ga.edge_count() &&
+                         std::equal(ga.edges().begin(), ga.edges().end(), gc.edges().begin());
+  EXPECT_FALSE(identical);
+}
+
+/// No self-loops, no duplicate undirected edges.
+void expect_simple_graph(const Graph& g) {
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    const auto key = std::minmax(e.u, e.v);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate edge " << e.u << "-" << e.v;
+  }
+}
+
+TEST(GeneratorsProperty, PerSeedDeterminism) {
+  expect_seed_determinism([](support::Rng& rng) { return erdos_renyi_gnm(40, 90, rng); });
+  expect_seed_determinism([](support::Rng& rng) { return random_network(40, 5.0, rng); });
+  expect_seed_determinism([](support::Rng& rng) { return barabasi_albert(40, 3, rng); });
+  expect_seed_determinism([](support::Rng& rng) { return watts_strogatz(40, 3, 0.3, rng); });
+  expect_seed_determinism([](support::Rng& rng) {
+    ZonedTopologyParams params;
+    params.zone_sizes = {8, 10, 6};
+    params.intra_zone_density = 0.4;
+    return zoned_topology(params, rng);
+  });
+}
+
+class ErdosRenyiCounts
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(ErdosRenyiCounts, ExactVertexAndEdgeCounts) {
+  const auto [vertices, edges, seed] = GetParam();
+  support::Rng rng(seed);
+  const Graph g = erdos_renyi_gnm(vertices, edges, rng);
+  EXPECT_EQ(g.vertex_count(), vertices);
+  EXPECT_EQ(g.edge_count(), edges);
+  expect_simple_graph(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErdosRenyiCounts,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, std::uint64_t>{10, 0, 1},
+                      std::tuple<std::size_t, std::size_t, std::uint64_t>{10, 45, 2},  // K10
+                      std::tuple<std::size_t, std::size_t, std::uint64_t>{57, 123, 3},
+                      std::tuple<std::size_t, std::size_t, std::uint64_t>{200, 700, 4}));
+
+class BarabasiAlbertBounds
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(BarabasiAlbertBounds, DegreeAndCountGuarantees) {
+  const auto [vertices, attach] = GetParam();
+  support::Rng rng(1000 + vertices);
+  const Graph g = barabasi_albert(vertices, attach, rng);
+  EXPECT_EQ(g.vertex_count(), vertices);
+  // Seed clique over attach+1 vertices, then `attach` distinct edges per
+  // newcomer — an exact count, not just a bound.
+  EXPECT_EQ(g.edge_count(), attach * (attach + 1) / 2 + (vertices - attach - 1) * attach);
+  expect_simple_graph(g);
+  // Every vertex keeps at least its attachment edges.
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GE(stats.min, attach);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BarabasiAlbertBounds,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{20, 1},
+                                           std::pair<std::size_t, std::size_t>{50, 2},
+                                           std::pair<std::size_t, std::size_t>{120, 4},
+                                           std::pair<std::size_t, std::size_t>{300, 6}));
+
+class WattsStrogatzBounds
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(WattsStrogatzBounds, DegreeAndBudgetGuarantees) {
+  const auto [vertices, k, rewire] = GetParam();
+  support::Rng rng(7);
+  const Graph g = watts_strogatz(vertices, k, rewire, rng);
+  EXPECT_EQ(g.vertex_count(), vertices);
+  expect_simple_graph(g);
+  // Every vertex originates k attempts, each leaving an edge incident to
+  // it, so no vertex is isolated; the total budget is n·k with only
+  // collision-dropped fallbacks missing.  (min degree == 2k exactly is a
+  // lattice-only guarantee — a rewire can land on another attempt's
+  // lattice partner, so rewired graphs only promise ≥ 1.)
+  const DegreeStats stats = degree_stats(g);
+  if (rewire == 0.0) {
+    EXPECT_EQ(stats.min, 2 * k);
+    EXPECT_EQ(stats.max, 2 * k);
+    EXPECT_EQ(g.edge_count(), vertices * k);
+  } else {
+    EXPECT_GE(stats.min, 1u);
+  }
+  EXPECT_LE(g.edge_count(), vertices * k);
+  EXPECT_GE(g.edge_count(), vertices * k - vertices * k / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WattsStrogatzBounds,
+    ::testing::Values(std::tuple<std::size_t, std::size_t, double>{30, 2, 0.0},
+                      std::tuple<std::size_t, std::size_t, double>{60, 3, 0.1},
+                      std::tuple<std::size_t, std::size_t, double>{100, 4, 0.5},
+                      std::tuple<std::size_t, std::size_t, double>{80, 2, 1.0}));
+
+/// Zone index of a vertex under consecutive layout.
+std::size_t zone_of(VertexId v, const std::vector<std::size_t>& sizes) {
+  std::size_t prefix = 0;
+  for (std::size_t z = 0; z < sizes.size(); ++z) {
+    prefix += sizes[z];
+    if (v < prefix) return z;
+  }
+  return sizes.size();
+}
+
+TEST(ZonedTopologyProperty, ChainedZoneInvariants) {
+  ZonedTopologyParams params;
+  params.zone_sizes = {6, 9, 5, 7};
+  params.intra_zone_density = 0.5;
+  params.inter_zone_links = 2;
+  params.chain_zones = true;
+  support::Rng rng(21);
+  const Graph g = zoned_topology(params, rng);
+  EXPECT_EQ(g.vertex_count(), 27u);
+  expect_simple_graph(g);
+  EXPECT_TRUE(is_connected(g));  // intra spanning paths + chain bridges
+
+  // Chained layout: every edge stays within a zone or crosses to the
+  // adjacent one, never further (the firewall shape of Fig. 3).
+  std::vector<std::size_t> cross_count(params.zone_sizes.size(), 0);
+  for (const Edge& e : g.edges()) {
+    const std::size_t zu = zone_of(e.u, params.zone_sizes);
+    const std::size_t zv = zone_of(e.v, params.zone_sizes);
+    const std::size_t lo = std::min(zu, zv);
+    ASSERT_LE(std::max(zu, zv) - lo, 1u);
+    if (zu != zv) ++cross_count[lo];
+  }
+  // Between 1 (collisions can only drop repeats) and inter_zone_links
+  // bridges per adjacent pair.
+  for (std::size_t z = 0; z + 1 < params.zone_sizes.size(); ++z) {
+    EXPECT_GE(cross_count[z], 1u);
+    EXPECT_LE(cross_count[z], params.inter_zone_links);
+  }
+}
+
+TEST(ZonedTopologyProperty, FullMeshDensityAndAllPairsAdjacency) {
+  ZonedTopologyParams params;
+  params.zone_sizes = {4, 5, 3};
+  params.intra_zone_density = 1.0;
+  params.inter_zone_links = 1;
+  params.chain_zones = false;  // every zone pair bridged
+  support::Rng rng(22);
+  const Graph g = zoned_topology(params, rng);
+  expect_simple_graph(g);
+  // Full intra meshes are deterministic: C(4,2)+C(5,2)+C(3,2) edges, plus
+  // one bridge per unordered zone pair.
+  EXPECT_EQ(g.edge_count(), 6u + 10u + 3u + 3u);
+  std::set<std::pair<std::size_t, std::size_t>> bridged;
+  for (const Edge& e : g.edges()) {
+    const std::size_t zu = zone_of(e.u, params.zone_sizes);
+    const std::size_t zv = zone_of(e.v, params.zone_sizes);
+    if (zu != zv) bridged.insert(std::minmax(zu, zv));
+  }
+  EXPECT_EQ(bridged.size(), 3u);
+}
+
+}  // namespace
+}  // namespace icsdiv::graph

@@ -180,6 +180,109 @@ TEST(AttackGrid, RejectsBadValues) {
       InvalidArgument);
 }
 
+TEST(MetricsSpec, JsonRoundTripAndDefaults) {
+  const support::Json parsed = support::Json::parse(R"({
+    "hosts": [14],
+    "solvers": ["icm"],
+    "metrics": {
+      "entries": [0, 1],
+      "targets": [12, 13],
+      "engine": "montecarlo",
+      "samples": 5000,
+      "exact_max_edges": 32,
+      "seed": 41
+    }
+  })");
+  const ScenarioGrid grid = ScenarioGrid::from_json(parsed);
+  ASSERT_TRUE(grid.metrics.has_value());
+  EXPECT_EQ(grid.metrics->entries, (std::vector<core::HostId>{0, 1}));
+  EXPECT_EQ(grid.metrics->targets, (std::vector<core::HostId>{12, 13}));
+  EXPECT_EQ(grid.metrics->engine, "montecarlo");
+  EXPECT_EQ(grid.metrics->samples, 5000u);
+  EXPECT_EQ(grid.metrics->exact_max_edges, 32u);
+  EXPECT_EQ(grid.metrics->seed, 41u);
+  // Unlike the attack block, metrics carries no grid-multiplying axes.
+  EXPECT_EQ(grid.size(), 1u);
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 1u);
+  ASSERT_TRUE(specs[0].metrics.has_value());
+  EXPECT_EQ(specs[0].metrics->targets, grid.metrics->targets);
+
+  const ScenarioGrid reparsed = ScenarioGrid::from_json(grid.to_json());
+  ASSERT_TRUE(reparsed.metrics.has_value());
+  EXPECT_EQ(reparsed.metrics->entries, grid.metrics->entries);
+  EXPECT_EQ(reparsed.metrics->targets, grid.metrics->targets);
+  EXPECT_EQ(reparsed.metrics->engine, grid.metrics->engine);
+  EXPECT_EQ(reparsed.metrics->samples, grid.metrics->samples);
+}
+
+TEST(MetricsSpec, RejectsBadValues) {
+  // Unknown engine strings, zero samples/budgets, negative hosts and
+  // unknown keys all fail at parse time — the PR-3 validation pattern.
+  EXPECT_THROW(ScenarioGrid::from_json(
+                   support::Json::parse(R"({"metrics": {"engine": "guesswork"}})")),
+               InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"metrics": {"samples": 0}})")),
+      InvalidArgument);
+  EXPECT_THROW(ScenarioGrid::from_json(
+                   support::Json::parse(R"({"metrics": {"exact_max_edges": 0}})")),
+               InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"metrics": {"entries": [-1]}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"metrics": {"targets": []}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"metrics": {"samples": 10.5}})")),
+      InvalidArgument);
+  EXPECT_THROW(
+      ScenarioGrid::from_json(support::Json::parse(R"({"metrics": {"bogus_key": 1}})")),
+      InvalidArgument);
+}
+
+TEST(RunScenario, ComputesDbnColumnsFromTheMetricsBlock) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 16;
+  spec.workload.average_degree = 4.0;
+  spec.workload.services = 2;
+  spec.workload.products_per_service = 3;
+  spec.solver = "icm";
+  spec.seed = 5;
+  MetricsSpec metrics;
+  metrics.entries = {0, 1};
+  metrics.targets = {14, 15};
+  metrics.engine = "montecarlo";
+  metrics.samples = 20'000;
+  spec.metrics = metrics;
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.metrics_evaluated);
+  EXPECT_EQ(result.metric_engine, "montecarlo");
+  EXPECT_EQ(result.metric_pairs, 4u);  // 2 entries × 2 targets
+  EXPECT_GT(result.d_bn_mean, 0.0);
+  EXPECT_LE(result.d_bn_mean, 1.0 + 1e-9);
+  EXPECT_LE(result.d_bn_min, result.d_bn_mean);
+  EXPECT_GT(result.p_with_mean, 0.0);
+  EXPECT_GE(result.p_with_mean, result.p_without_mean);  // Def. 6: d_bn ≤ 1
+}
+
+TEST(RunScenario, MetricsHostsOutsideTheWorkloadFailTheCell) {
+  ScenarioSpec spec;
+  spec.workload.hosts = 8;
+  spec.workload.services = 1;
+  MetricsSpec metrics;
+  metrics.entries = {0};
+  metrics.targets = {99};  // not a host of an 8-host workload
+  spec.metrics = metrics;
+  const ScenarioResult result = run_scenario(spec);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_FALSE(result.metrics_evaluated);
+  // The engine echo survives for the report's axis columns.
+  EXPECT_EQ(result.metric_engine, "auto");
+}
+
 TEST(ConstraintRecipes, UnknownRecipeThrows) {
   const WorkloadInstance instance = make_workload(WorkloadParams{.hosts = 4, .services = 1});
   EXPECT_THROW(apply_constraint_recipe("bogus", *instance.network), InvalidArgument);
@@ -351,6 +454,44 @@ TEST(BatchRunner, AttackGridIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(aggregates.size(), 4u);
   EXPECT_TRUE(aggregates[0].as_object().contains("mean_mttc"));
   EXPECT_TRUE(aggregates[0].as_object().contains("censored_rate"));
+  EXPECT_FALSE(json.dump().empty());
+}
+
+TEST(BatchRunner, MetricsGridIsIdenticalAcrossThreadCounts) {
+  ScenarioGrid grid;
+  grid.name = "metrics-determinism";
+  grid.hosts = {14};
+  grid.degrees = {4.0};
+  grid.services = {2};
+  grid.products_per_service = {3};
+  grid.solvers = {"icm", "trws"};
+  grid.seeds = {7};
+  grid.solve.max_iterations = 20;
+  MetricsSpec metrics;
+  metrics.entries = {0, 1};
+  metrics.targets = {12, 13};
+  metrics.engine = "montecarlo";
+  metrics.samples = 20'000;
+  grid.metrics = metrics;
+
+  BatchOptions serial;
+  serial.threads = 1;
+  serial.inner_parallel = false;
+  BatchOptions parallel;
+  parallel.threads = 4;
+  parallel.inner_parallel = true;  // the sharded sampler must not matter
+
+  const BatchReport a = BatchRunner(serial).run(grid);
+  const BatchReport b = BatchRunner(parallel).run(grid);
+  ASSERT_EQ(a.results.size(), 2u);
+  EXPECT_EQ(a.failed_count(), 0u) << a.results[0].error;
+  EXPECT_EQ(deterministic_csv(a), deterministic_csv(b));
+  EXPECT_TRUE(a.results[0].metrics_evaluated);
+  // JSON aggregates carry the metric summary.
+  const support::Json json = a.to_json();
+  const auto& aggregates = json.as_object().at("aggregates").as_array();
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_TRUE(aggregates[0].as_object().contains("mean_d_bn"));
   EXPECT_FALSE(json.dump().empty());
 }
 

@@ -221,9 +221,11 @@ int run_batch(const Arguments& args) {
             << report.wall_seconds << " s\n";
 
   const bool attacked = grid.attack.has_value();
+  const bool metered = grid.metrics.has_value();
   std::vector<std::string> columns{"scenario", "solver", "constraints", "energy",
                                    "avg sim",  "richness", "solve s"};
   if (attacked) columns.insert(columns.end(), {"mttc", "mttc unc.", "censored"});
+  if (metered) columns.insert(columns.end(), {"d_bn", "d_bn min", "pairs"});
   columns.push_back("status");
   support::TextTable table(columns);
   for (const runner::ScenarioResult& r : report.results) {
@@ -241,6 +243,12 @@ int run_batch(const Arguments& args) {
                         : "-");
       row.push_back(ok ? std::to_string(r.mttc_censored) + "/" + std::to_string(r.mttc_runs)
                        : "-");
+    }
+    if (metered) {
+      const bool ok = r.error.empty() && r.metrics_evaluated;
+      row.push_back(ok ? support::TextTable::num(r.d_bn_mean, 4) : "-");
+      row.push_back(ok ? support::TextTable::num(r.d_bn_min, 4) : "-");
+      row.push_back(ok ? std::to_string(r.metric_pairs) : "-");
     }
     row.push_back(r.error.empty() ? "ok" : r.error);
     table.add_row(row);
@@ -270,6 +278,9 @@ void print_usage() {
   report      --catalog FILE --network FILE --assignment FILE
   similarity  --feed FILE --cpe QUERY --cpe QUERY [--cpe QUERY ...]
   batch       --grid FILE [--csv FILE] [--json FILE] [--threads N]
+              (a grid may carry an "attack" block — MTTC axes — and a
+               "metrics" block — d_bn entry/target sweeps; reports then
+               add mttc_* and d_bn_*/p_with/p_without columns)
 )";
 }
 

@@ -12,6 +12,7 @@
 #include "mrf/icm.hpp"
 #include "mrf/trws.hpp"
 #include "nvd/paper_tables.hpp"
+#include "runner/batch_runner.hpp"
 #include "sim/worm_sim.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -246,6 +247,44 @@ void BM_Mttc(benchmark::State& state) {
                           static_cast<std::int64_t>(runs));
 }
 BENCHMARK(BM_Mttc)->Arg(64)->Arg(256);
+
+/// The staged batch engine on a shared-prefix attack grid (1 workload ×
+/// 2 solvers × 2 strategies × 2 detections = 8 cells).  range(0) toggles
+/// artifact reuse: 0 = cold (every cell re-runs its full pipeline, the
+/// pre-engine behaviour), 1 = cached (stage DAG deduplication).  Reported
+/// items/s are cells/s.
+void BM_BatchGrid(benchmark::State& state) {
+  runner::ScenarioGrid grid;
+  grid.hosts = {120};
+  grid.degrees = {8.0};
+  grid.services = {3};
+  grid.products_per_service = {4};
+  grid.solvers = {"trws", "icm"};
+  grid.constraints = {"none"};
+  grid.seeds = {2020};
+  grid.solve.max_iterations = 40;
+  runner::AttackGrid attack;
+  attack.entries = {0, 7};
+  attack.target = 119;
+  attack.strategies = {"sophisticated", "uniform"};
+  attack.detections = {0.0, 0.02};
+  attack.runs = 50;
+  attack.max_ticks = 5000;
+  grid.attack = attack;
+  const std::vector<runner::ScenarioSpec> specs = grid.expand();
+
+  runner::BatchOptions options;
+  options.threads = 1;
+  options.inner_parallel = false;
+  options.reuse_artifacts = state.range(0) != 0;
+  const runner::BatchRunner batch(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.run(specs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_BatchGrid)->Arg(0)->Arg(1);
 
 void BM_JsonParseFeed(benchmark::State& state) {
   const nvd::OverlapSpec spec = nvd::browser_table_spec();

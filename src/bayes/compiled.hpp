@@ -89,6 +89,11 @@ struct ReliabilitySweep {
   std::vector<double> p_baseline;
 };
 
+/// Thread safety: a CompiledReliability is immutable after construction —
+/// every const member function (solve_targets included: its samplers use
+/// per-chunk state seeded from the options) may be called concurrently
+/// from any number of threads.  The batch engine relies on this when a
+/// metric evaluation is shared across cells.
 class CompiledReliability {
  public:
   /// Builds the layered DAG from `entry` and resolves both rate pools.

@@ -36,7 +36,15 @@ struct OptimizeOutcome {
 
 class Optimizer {
  public:
+  /// The network must outlive the optimizer (a pointer is kept).
   explicit Optimizer(const Network& network) : network_(&network) {}
+
+  /// Shared-ownership variant for long-lived engine artifacts: the
+  /// optimizer co-owns the network instead of borrowing it.
+  explicit Optimizer(std::shared_ptr<const Network> network)
+      : network_((require(network != nullptr, "Optimizer", "network must not be null"),
+                  network.get())),
+        network_owner_(std::move(network)) {}
 
   /// Computes the (constrained) optimal assignment α̂ / α̂_C.
   [[nodiscard]] OptimizeOutcome optimize(const ConstraintSet& constraints = {},
@@ -48,6 +56,7 @@ class Optimizer {
 
  private:
   const Network* network_;
+  std::shared_ptr<const Network> network_owner_;  ///< keepalive; may be null
 };
 
 /// Builds a solver by registry name (thin alias for

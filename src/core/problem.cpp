@@ -18,6 +18,15 @@ DiversificationProblem::DiversificationProblem(const Network& network, Constrain
   build_constraint_factors();
 }
 
+DiversificationProblem::DiversificationProblem(std::shared_ptr<const Network> network,
+                                               ConstraintSet constraints, ProblemOptions options)
+    : DiversificationProblem(
+          (require(network != nullptr, "DiversificationProblem", "network must not be null"),
+           *network),
+          std::move(constraints), std::move(options)) {
+  network_owner_ = std::move(network);
+}
+
 void DiversificationProblem::build_variables() {
   const std::size_t host_count = network_->host_count();
   variable_of_slot_.resize(host_count);

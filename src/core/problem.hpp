@@ -43,8 +43,15 @@ struct ProblemOptions {
 class DiversificationProblem {
  public:
   /// Validates the constraints against the network and builds the MRF.
-  /// Throws Infeasible when a fixed assignment empties a label set.
+  /// Throws Infeasible when a fixed assignment empties a label set.  The
+  /// network must outlive the problem (the problem keeps a pointer).
   DiversificationProblem(const Network& network, ConstraintSet constraints = {},
+                         ProblemOptions options = {});
+
+  /// Shared-ownership variant for cached problem artifacts: the problem
+  /// co-owns the network, so it stays valid after the creating scope ends
+  /// (the batch engine's problem stage hands these out across cells).
+  DiversificationProblem(std::shared_ptr<const Network> network, ConstraintSet constraints = {},
                          ProblemOptions options = {});
 
   [[nodiscard]] const mrf::Mrf& mrf() const noexcept { return mrf_; }
@@ -52,7 +59,9 @@ class DiversificationProblem {
   /// Compiled (flat CSR) view of the MRF, built lazily on first use and
   /// cached: repeated solves of the same problem — solver comparisons,
   /// benches, re-solves under different options — share one compilation.
-  /// The MRF is immutable after construction, so the view never goes stale.
+  /// The MRF is immutable after construction, so the view never goes
+  /// stale, and the lazy build is guarded by a once_flag: concurrent
+  /// first calls from different threads are safe (one build, all wait).
   [[nodiscard]] const mrf::CompiledMrf& compiled() const;
   [[nodiscard]] const Network& network() const noexcept { return *network_; }
   [[nodiscard]] const ConstraintSet& constraints() const noexcept { return constraints_; }
@@ -83,6 +92,9 @@ class DiversificationProblem {
   void build_constraint_factors();
 
   const Network* network_;
+  /// Keepalive for the shared-ownership constructor; null when the caller
+  /// guarantees the network's lifetime externally (the reference ctor).
+  std::shared_ptr<const Network> network_owner_;
   ConstraintSet constraints_;
   ProblemOptions options_;
   mrf::Mrf mrf_;

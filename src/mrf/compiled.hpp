@@ -52,6 +52,10 @@ struct CompiledIncident {
   std::uint32_t msg_in = 0;   ///< flat offset of the message other → i
 };
 
+/// Thread safety: a CompiledMrf is immutable after construction — every
+/// const member function may be called concurrently from any number of
+/// threads (solver kernels keep their own per-solve state).  The batch
+/// engine relies on this when several solve tasks share one compilation.
 class CompiledMrf {
  public:
   explicit CompiledMrf(const Mrf& mrf);

@@ -1,0 +1,25 @@
+#include "runner/artifact_cache.hpp"
+
+namespace icsdiv::runner {
+
+support::Json StageCounters::to_json() const {
+  support::JsonObject object;
+  object.set("planned", planned);
+  object.set("executed", executed);
+  object.set("hits", hits);
+  object.set("evicted", evicted);
+  return object;
+}
+
+support::Json StageStats::to_json() const {
+  support::JsonObject object;
+  object.set("workload", workload.to_json());
+  object.set("problem", problem.to_json());
+  object.set("solve", solve.to_json());
+  object.set("channels", channels.to_json());
+  object.set("attack", attack.to_json());
+  object.set("metric", metric.to_json());
+  return object;
+}
+
+}  // namespace icsdiv::runner

@@ -2,27 +2,24 @@
 
 #include <cmath>
 #include <cstdio>
-#include <limits>
 #include <map>
 #include <ostream>
-#include <thread>
 #include <tuple>
 
-#include "bayes/compiled.hpp"
-#include "core/metrics.hpp"
-#include "core/optimizer.hpp"
-#include "sim/worm_sim.hpp"
+#include "runner/scenario_engine.hpp"
 #include "support/csv.hpp"
-#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace icsdiv::runner {
 
 namespace {
 
-/// Shortest round-trippable decimal form, stable across runs.
+/// Shortest round-trippable decimal form, stable across runs.  Non-finite
+/// values become the empty cell — the CSV spelling of the JSON report's
+/// null (JSON has no NaN/Infinity literal, and a "nan"/"inf" string cell
+/// in an otherwise numeric column trips most readers; see DESIGN.md §9).
 std::string format_double(double value) {
-  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  if (!std::isfinite(value)) return "";
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
@@ -34,173 +31,15 @@ support::Json json_number(double value) {
   return value;
 }
 
-std::size_t resolve_threads(std::size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-}
-
-sim::SimulationParams attack_params(const AttackSpec& attack) {
-  sim::SimulationParams params;
-  if (attack.strategy == "sophisticated") {
-    params.strategy = sim::AttackerStrategy::Sophisticated;
-  } else if (attack.strategy == "uniform") {
-    params.strategy = sim::AttackerStrategy::Uniform;
-  } else {
-    throw InvalidArgument("unknown attacker strategy: " + attack.strategy +
-                          " (known: sophisticated, uniform)");
-  }
-  params.detection_probability = attack.detection;
-  params.max_ticks = attack.max_ticks;
-  return params;
-}
-
-/// Runs the spec's attack block on the solved assignment, aggregating MTTC
-/// over the entry hosts into `result` (deterministic given the spec).
-void run_attack(const AttackSpec& attack, const core::Assignment& assignment, bool parallel,
-                ScenarioResult& result) {
-  require(!attack.entries.empty(), "run_attack", "attack block needs at least one entry");
-  require(attack.runs > 0, "run_attack", "attack block needs at least one run");
-  result.attacked = true;
-
-  support::Stopwatch watch;
-  const sim::WormSimulator simulator(assignment, attack_params(attack));
-  double mean_sum = 0.0;
-  double uncensored_sum = 0.0;
-  std::size_t uncensored_runs = 0;
-  for (std::size_t e = 0; e < attack.entries.size(); ++e) {
-    // Distinct deterministic seed per entry — sim::run_mttc_grid's
-    // historical per-entry formula.
-    const std::uint64_t entry_seed = attack.seed + 1000003ULL * e;
-    const sim::MttcResult mttc = simulator.mttc(attack.entries[e], attack.target, attack.runs,
-                                                entry_seed, parallel);
-    mean_sum += mttc.mean;
-    result.mttc_censored += mttc.censored;
-    const std::size_t reached = attack.runs - mttc.censored;
-    if (reached > 0) {
-      uncensored_sum += mttc.uncensored_mean * static_cast<double>(reached);
-      uncensored_runs += reached;
-    }
-  }
-  result.mttc_runs = attack.runs * attack.entries.size();
-  result.mttc_mean = mean_sum / static_cast<double>(attack.entries.size());
-  result.mttc_uncensored_mean = uncensored_runs > 0
-                                    ? uncensored_sum / static_cast<double>(uncensored_runs)
-                                    : std::numeric_limits<double>::quiet_NaN();
-  result.attack_seconds = watch.seconds();
-}
-
-/// Runs the spec's metrics block on the solved assignment: one compiled
-/// reliability substrate per entry answers all of that entry's targets in
-/// a single pass, and Def. 6 aggregates into `result` (deterministic given
-/// the spec — the sharded sampler is bit-identical at any thread count).
-void run_metrics(const MetricsSpec& metrics, const core::Assignment& assignment, bool parallel,
-                 ScenarioResult& result) {
-  require(!metrics.entries.empty(), "run_metrics", "metrics block needs at least one entry");
-  require(!metrics.targets.empty(), "run_metrics", "metrics block needs at least one target");
-
-  support::Stopwatch watch;
-  bayes::InferenceOptions inference;
-  inference.engine = bayes::inference_engine_from_name(metrics.engine);
-  inference.mc_samples = metrics.samples;
-  inference.exact_max_edges = metrics.exact_max_edges;
-  inference.parallel = parallel;
-
-  double d_bn_sum = 0.0;
-  double with_sum = 0.0;
-  double without_sum = 0.0;
-  double d_bn_min = std::numeric_limits<double>::infinity();
-  for (std::size_t e = 0; e < metrics.entries.size(); ++e) {
-    // Distinct deterministic stream per entry — the attack block's
-    // per-entry formula.
-    inference.seed = metrics.seed + 1000003ULL * e;
-    const bayes::CompiledReliability compiled(assignment, metrics.entries[e],
-                                              bayes::PropagationModel{});
-    const bayes::ReliabilitySweep sweep = compiled.solve_targets(metrics.targets, inference);
-    for (const core::HostId target : metrics.targets) {
-      const double p_with = sweep.p[target];
-      const double p_without = sweep.p_baseline[target];
-      require(p_with > 0.0, "run_metrics",
-              "metrics target " + std::to_string(target) + " is unreachable from entry " +
-                  std::to_string(metrics.entries[e]) + " (d_bn is undefined)");
-      const double d_bn = p_without / p_with;
-      d_bn_sum += d_bn;
-      with_sum += p_with;
-      without_sum += p_without;
-      d_bn_min = std::min(d_bn_min, d_bn);
-    }
-  }
-  const auto pairs = static_cast<double>(metrics.entries.size() * metrics.targets.size());
-  result.metrics_evaluated = true;
-  result.metric_pairs = metrics.entries.size() * metrics.targets.size();
-  result.d_bn_mean = d_bn_sum / pairs;
-  result.d_bn_min = d_bn_min;
-  result.p_with_mean = with_sum / pairs;
-  result.p_without_mean = without_sum / pairs;
-  result.metric_seconds = watch.seconds();
-}
-
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, std::optional<bool> inner_parallel) {
-  ScenarioResult result;
-  result.name = spec.name.empty() ? spec.derive_name() : spec.name;
-  result.hosts = spec.workload.hosts;
-  result.degree = spec.workload.average_degree;
-  result.services = spec.workload.services;
-  result.products_per_service = spec.workload.products_per_service;
-  result.solver = spec.solver;
-  result.constraints = spec.constraints;
-  result.seed = spec.seed;
-  if (spec.attack) {
-    // Axis echo like solver/constraints: spec-derived, so a failed cell
-    // still lands in its (strategy, detection) aggregate group.
-    result.attack_strategy = spec.attack->strategy;
-    result.attack_detection = spec.attack->detection;
-  }
-  if (spec.metrics) result.metric_engine = spec.metrics->engine;
-  try {
-    WorkloadParams workload = spec.workload;
-    workload.seed = spec.seed;  // the scenario seed is the cell's RNG stream
-
-    support::Stopwatch build_watch;
-    const WorkloadInstance instance = make_workload(workload);
-    const core::ConstraintSet constraints =
-        apply_constraint_recipe(spec.constraints, *instance.network);
-    result.build_seconds = build_watch.seconds();
-    result.links = instance.network->topology().edge_count();
-    result.variables = instance.network->instance_count();
-
-    core::OptimizeOptions options;
-    options.solver = spec.solver;
-    options.solve = spec.solve;
-    options.decompose = spec.decompose;
-    options.parallel = inner_parallel.value_or(spec.parallel);
-
-    support::Stopwatch solve_watch;
-    const core::Optimizer optimizer(*instance.network);
-    const core::OptimizeOutcome outcome = optimizer.optimize(constraints, options);
-    result.solve_seconds = solve_watch.seconds();
-    ensure(outcome.assignment.complete(), "run_scenario",
-           "solver returned an incomplete assignment");
-
-    result.energy = outcome.solve.energy;
-    result.lower_bound = outcome.solve.lower_bound;
-    result.iterations = outcome.solve.iterations;
-    result.converged = outcome.solve.converged;
-    result.constraints_satisfied = outcome.constraints_satisfied;
-    result.total_similarity = outcome.pairwise_similarity;
-    result.average_similarity = core::average_edge_similarity(outcome.assignment);
-    result.normalized_richness = core::normalized_effective_richness(outcome.assignment);
-
-    if (spec.attack) {
-      run_attack(*spec.attack, outcome.assignment, options.parallel, result);
-    }
-    if (spec.metrics) {
-      run_metrics(*spec.metrics, outcome.assignment, options.parallel, result);
-    }
-  } catch (const std::exception& error) {
-    result.error = error.what();
-  }
+  BatchOptions options;
+  options.threads = 1;
+  // The standalone path keeps its historical default: the spec decides the
+  // in-cell fan-out unless the caller overrides (no single-worker forcing).
+  options.inner_parallel = inner_parallel.value_or(spec.parallel);
+  ScenarioResult result = ScenarioEngine(std::move(options)).run({spec}).results.front();
   return result;
 }
 
@@ -210,7 +49,7 @@ void BatchRunner::run_cells(std::size_t count,
                             const std::function<void(std::size_t)>& cell,
                             std::size_t threads) {
   if (count == 0) return;
-  threads = std::min(resolve_threads(threads), count);
+  threads = std::min(resolve_batch_threads(threads), count);
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) cell(i);
     return;
@@ -220,31 +59,15 @@ void BatchRunner::run_cells(std::size_t count,
 }
 
 BatchReport BatchRunner::run(const std::vector<ScenarioSpec>& specs) const {
-  const std::size_t threads = std::min(resolve_threads(options_.threads),
+  const std::size_t threads = std::min(resolve_batch_threads(options_.threads),
                                        std::max<std::size_t>(1, specs.size()));
-  // A lone worker may as well let each cell fan out; otherwise the spec
+  BatchOptions engine_options = options_;
+  // A lone worker may as well let each stage fan out; otherwise the spec
   // decides, unless the batch-wide override is set.
-  const std::optional<bool> inner_parallel =
-      options_.inner_parallel.has_value() ? options_.inner_parallel
-      : threads == 1                      ? std::optional<bool>(true)
-                                          : std::nullopt;
-
-  BatchReport report;
-  report.threads = threads;
-  report.results.resize(specs.size());
-
-  support::Stopwatch watch;
-  run_cells(
-      specs.size(),
-      [&](std::size_t index) {
-        ScenarioResult result = run_scenario(specs[index], inner_parallel);
-        result.index = index;
-        if (options_.on_result) options_.on_result(result);
-        report.results[index] = std::move(result);
-      },
-      threads);
-  report.wall_seconds = watch.seconds();
-  return report;
+  if (!engine_options.inner_parallel.has_value() && threads == 1) {
+    engine_options.inner_parallel = true;
+  }
+  return ScenarioEngine(std::move(engine_options)).run(specs);
 }
 
 std::size_t BatchReport::failed_count() const noexcept {
@@ -335,6 +158,7 @@ support::Json BatchReport::to_json() const {
   root.set("wall_seconds", wall_seconds);
   root.set("cells", results.size());
   root.set("failed", failed_count());
+  root.set("stage_stats", stage_stats.to_json());
 
   support::JsonArray cells;
   for (const ScenarioResult& r : results) {

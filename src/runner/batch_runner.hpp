@@ -1,18 +1,20 @@
-// Parallel scenario batch engine.
+// Parallel scenario batch engine (facade; see scenario_engine.hpp).
 //
-// BatchRunner shards a list of ScenarioSpec cells across its own
-// ThreadPool (not the global one: cells may themselves fan subproblems or
-// Monte-Carlo runs out to the global pool, and keeping the two pools
-// separate makes that nesting deadlock-free).  Each cell derives a private
-// deterministic RNG stream from its spec seed, so the report's
-// deterministic columns are bit-identical whether the batch runs on one
-// thread or many — the property the determinism test pins down.
+// BatchRunner plans a grid's cells as a staged pipeline — generate →
+// problem → solve → attack-eval → metric-eval — on runner::ScenarioEngine
+// and shards *stage tasks* across its own ThreadPool (not the global one:
+// stages may themselves fan subproblems or Monte-Carlo runs out to the
+// global pool, and keeping the two pools separate makes that nesting
+// deadlock-free).  Cells sharing a stage prefix (same workload, same
+// problem, same solve) share one execution of it; per-stage
+// hit/miss/evict counts land in `BatchReport::stage_stats`.
 //
-// Per cell the runner generates the workload, applies the constraint
-// recipe, resolves the solver by registry name, optimises, and collects
-// the SolveResult together with the core::metrics diversity measures.
-// Failures are captured per cell (the batch keeps going) and surfaced in
-// the report's `error` column.
+// Each cell derives a private deterministic RNG stream from its spec
+// seed, so the report's deterministic columns are bit-identical whether
+// the batch runs on one thread or many, and whether artifact reuse is on
+// or off — the properties the determinism tests pin down.  Failures are
+// captured per cell (the batch keeps going) and surfaced in the report's
+// `error` column; cells sharing a failed stage share its message.
 #pragma once
 
 #include <functional>
@@ -20,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "runner/artifact_cache.hpp"
 #include "runner/scenario.hpp"
 #include "support/json.hpp"
 
@@ -73,6 +76,11 @@ struct ScenarioResult {
   double p_with_mean = 0.0;
   double p_without_mean = 0.0;
   // Wall-clock (machine-dependent; excluded from determinism checks).
+  // Each column reports the duration of the stage executions that
+  // *produced* this cell's artifacts: with artifact reuse on, cells
+  // sharing a stage echo the same figure (the work ran once), so summing
+  // a column across rows overstates the batch's actual cost — use
+  // BatchReport::wall_seconds and stage_stats for that.
   double build_seconds = 0.0;
   double solve_seconds = 0.0;
   double attack_seconds = 0.0;
@@ -86,14 +94,19 @@ struct BatchReport {
   std::vector<ScenarioResult> results;  ///< ordered by spec index
   std::size_t threads = 0;
   double wall_seconds = 0.0;
+  /// Per-stage cache counters (deterministic given specs + options).
+  StageStats stage_stats;
 
   [[nodiscard]] std::size_t failed_count() const noexcept;
 
   /// Per-cell CSV; `include_timings` off gives the deterministic subset.
+  /// Non-finite values (NaN/±inf) are written as empty cells, matching
+  /// the JSON report's null convention (see DESIGN.md §9).
   void write_csv(std::ostream& out, bool include_timings = true) const;
 
-  /// Full report: grid echo, per-cell rows, and per-(solver, constraints)
-  /// aggregates (mean energy / similarity / seconds over cells).
+  /// Full report: grid echo, per-cell rows, per-(solver, constraints)
+  /// aggregates (mean energy / similarity / seconds over cells), and the
+  /// `stage_stats` block.
   [[nodiscard]] support::Json to_json() const;
 };
 
@@ -106,6 +119,11 @@ struct BatchOptions {
   /// parallelism) for every cell.  Unset: forced on when `threads` is 1
   /// (a lone worker may as well fan out), per-spec otherwise.
   std::optional<bool> inner_parallel;
+  /// Share stage artifacts across cells with equal stage keys (the
+  /// engine's point).  Off plans every cell's full pipeline from scratch —
+  /// the uncached reference path, bit-identical to reuse by construction
+  /// (the determinism test compares the two).
+  bool reuse_artifacts = true;
   /// Called after each cell completes, from the completing thread
   /// (serialise your own side effects); useful for progress dots.
   std::function<void(const ScenarioResult&)> on_result;
@@ -129,7 +147,8 @@ class BatchRunner {
   BatchOptions options_;
 };
 
-/// Runs one cell synchronously (the unit BatchRunner parallelises).
+/// Runs one cell synchronously — a single-spec pass through the staged
+/// engine, so the standalone path and the batch path are the same code.
 /// `inner_parallel` overrides ScenarioSpec::parallel (the decomposed
 /// solve's own thread fan-out) when set.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,

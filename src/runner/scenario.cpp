@@ -74,9 +74,37 @@ std::size_t ScenarioGrid::size() const noexcept {
          solvers.size() * constraints.size() * seeds.size() * attack_cells;
 }
 
+std::size_t ScenarioGrid::cell_count() const {
+  std::size_t count = 1;
+  const auto multiply = [&count](std::size_t axis) {
+    std::size_t product = 0;
+    if (__builtin_mul_overflow(count, axis, &product)) {
+      throw Infeasible("ScenarioGrid::cell_count: axis product overflows size_t");
+    }
+    count = product;
+  };
+  multiply(hosts.size());
+  multiply(degrees.size());
+  multiply(services.size());
+  multiply(products_per_service.size());
+  multiply(solvers.size());
+  multiply(constraints.size());
+  multiply(seeds.size());
+  if (attack) {
+    multiply(attack->strategies.size());
+    multiply(attack->detections.size());
+  }
+  if (count > max_cells) {
+    throw Infeasible("ScenarioGrid::cell_count: grid expands to " + std::to_string(count) +
+                     " cells, above the configured cap of " + std::to_string(max_cells) +
+                     " (raise max_cells to run it anyway)");
+  }
+  return count;
+}
+
 std::vector<ScenarioSpec> ScenarioGrid::expand() const {
   std::vector<ScenarioSpec> specs;
-  specs.reserve(size());
+  specs.reserve(cell_count());
   // The attack axes expand innermost; a solve-only grid contributes the
   // single no-attack combination.
   const std::vector<std::string> strategies =
@@ -282,6 +310,9 @@ ScenarioGrid ScenarioGrid::from_json(const support::Json& json) {
       require(std::isfinite(tolerance) && tolerance >= 0.0, "ScenarioGrid::from_json",
               "tolerance must be finite and non-negative");
       grid.solve.tolerance = tolerance;
+    } else if (key == "max_cells") {
+      grid.max_cells = static_cast<std::size_t>(non_negative_integer(value, "max_cells"));
+      require(grid.max_cells > 0, "ScenarioGrid::from_json", "max_cells must be positive");
     } else if (key == "attack") {
       grid.attack = attack_grid_from_json(value);
     } else if (key == "metrics") {
@@ -316,6 +347,7 @@ support::Json ScenarioGrid::to_json() const {
   object.set("max_similarity", max_similarity);
   object.set("max_iterations", solve.max_iterations);
   object.set("tolerance", solve.tolerance);
+  object.set("max_cells", max_cells);
   if (attack) {
     support::JsonObject attack_object;
     support::JsonArray entries;

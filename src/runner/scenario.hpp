@@ -134,8 +134,23 @@ struct ScenarioGrid {
   /// grid-multiplying axes (entries/targets stay within one cell, sharing
   /// its compiled substrates).
   std::optional<MetricsSpec> metrics;
+  /// Expansion guard: cell_count()/expand() reject grids past this cap
+  /// with Infeasible instead of attempting the allocation (JSON key
+  /// `max_cells` raises it for deliberately huge sweeps).
+  std::size_t max_cells = kDefaultMaxCells;
 
+  static constexpr std::size_t kDefaultMaxCells = 1'000'000;
+
+  /// Unchecked axis product (may wrap on absurd axis sizes; prefer
+  /// cell_count() anywhere the value feeds an allocation).
   [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Checked cell count: the exact number of specs expand() would emit.
+  /// Throws Infeasible when the axis product overflows std::size_t or
+  /// exceeds `max_cells`.
+  [[nodiscard]] std::size_t cell_count() const;
+
+  /// Emits the cartesian product; guarded by cell_count().
   [[nodiscard]] std::vector<ScenarioSpec> expand() const;
 
   /// Parses the `icsdiv_cli batch --grid` document.  Every axis key is

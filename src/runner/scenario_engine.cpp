@@ -1,0 +1,742 @@
+#include "runner/scenario_engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "bayes/compiled.hpp"
+#include "core/metrics.hpp"
+#include "core/optimizer.hpp"
+#include "sim/compiled.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace icsdiv::runner {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Artifacts: the payload each stage shares, plus the summary that outlives
+// its eviction (everything report assembly needs).
+
+struct WorkloadSummary {
+  std::size_t links = 0;
+  std::size_t variables = 0;
+  double seconds = 0.0;
+};
+
+struct ProblemArtifact {
+  /// Co-owns the network through DiversificationProblem's shared-ownership
+  /// ctor (aliased into the workload artifact), so the problem — and the
+  /// assignments decoded from it — stay valid after the workload slot
+  /// evicts.  In-place construction: the problem is not movable (its lazy
+  /// compiled() cache holds a once_flag).
+  ProblemArtifact(std::shared_ptr<const core::Network> network, core::ConstraintSet constraints)
+      : problem(std::move(network), std::move(constraints)) {}
+
+  core::DiversificationProblem problem;
+};
+
+struct ProblemSummary {
+  double seconds = 0.0;
+};
+
+struct SolveArtifact {
+  std::shared_ptr<const ProblemArtifact> problem;  ///< assignment points into it
+  core::OptimizeOutcome outcome;
+};
+
+struct SolveSummary {
+  double energy = 0.0;
+  double lower_bound = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  bool constraints_satisfied = false;
+  double total_similarity = 0.0;
+  double average_similarity = 0.0;
+  double normalized_richness = 0.0;
+  double seconds = 0.0;
+};
+
+struct ChannelsSummary {
+  double seconds = 0.0;
+};
+
+/// Attack evaluation is a per-cell leaf: its "payload" is unused, the
+/// summary carries the MTTC columns.
+struct AttackSummary {
+  std::size_t runs = 0;
+  double mean = 0.0;
+  double uncensored_mean = 0.0;
+  std::size_t censored = 0;
+  double seconds = 0.0;
+};
+
+struct MetricSummary {
+  std::size_t pairs = 0;
+  double d_bn_mean = 0.0;
+  double d_bn_min = 0.0;
+  double p_with_mean = 0.0;
+  double p_without_mean = 0.0;
+  double seconds = 0.0;
+};
+
+struct NoPayload {};
+
+using WorkloadStore = ArtifactStore<WorkloadInstance, WorkloadSummary>;
+using ProblemStore = ArtifactStore<ProblemArtifact, ProblemSummary>;
+using SolveStore = ArtifactStore<SolveArtifact, SolveSummary>;
+using ChannelsStore = ArtifactStore<sim::PropagationChannels, ChannelsSummary>;
+using AttackStore = ArtifactStore<NoPayload, AttackSummary>;
+using MetricStore = ArtifactStore<NoPayload, MetricSummary>;
+
+// ---------------------------------------------------------------------------
+// Stage keys: hash exactly the spec fields the stage's computation reads,
+// chained onto the parent key.  A distinct tag per stage separates the
+// hash domains.
+
+enum class StageTag : std::uint64_t { Workload = 1, Problem, Solve, Channels, Attack, Metric };
+
+KeyHasher chain(StageTag tag, const ArtifactKey& parent) {
+  KeyHasher hasher;
+  hasher.mix(static_cast<std::uint64_t>(tag)).mix(parent.hi).mix(parent.lo);
+  return hasher;
+}
+
+ArtifactKey workload_key(const ScenarioSpec& spec) {
+  KeyHasher hasher = chain(StageTag::Workload, {});
+  const WorkloadParams& w = spec.workload;
+  hasher.mix(w.hosts)
+      .mix(w.average_degree)
+      .mix(w.services)
+      .mix(w.products_per_service)
+      .mix(w.similar_pair_fraction)
+      .mix(w.max_similarity)
+      .mix(spec.seed);  // the scenario seed is the cell's generation stream
+  return hasher.key();
+}
+
+ArtifactKey problem_key(const ArtifactKey& workload, const ScenarioSpec& spec) {
+  return chain(StageTag::Problem, workload).mix(spec.constraints).key();
+}
+
+ArtifactKey solve_key(const ArtifactKey& problem, const ScenarioSpec& spec) {
+  KeyHasher hasher = chain(StageTag::Solve, problem);
+  hasher.mix(spec.solver)
+      .mix(spec.solve.max_iterations)
+      .mix(spec.solve.tolerance)
+      .mix(spec.solve.time_limit_seconds)
+      .mix(static_cast<std::uint64_t>(spec.solve.initial_labels.size()))
+      .mix(spec.decompose);
+  for (const mrf::Label label : spec.solve.initial_labels) {
+    hasher.mix(static_cast<std::uint64_t>(label));
+  }
+  // ScenarioSpec::parallel is deliberately absent: the decomposed solve is
+  // bit-identical at any fan-out (pinned by the batch determinism tests),
+  // so cells differing only in the flag share the artifact.
+  return hasher.key();
+}
+
+ArtifactKey channels_key(const ArtifactKey& solve, const bayes::PropagationModel& model) {
+  return chain(StageTag::Channels, solve)
+      .mix(model.p_avg)
+      .mix(model.similarity_weight)
+      .mix(model.consider_similarity)
+      .key();
+}
+
+ArtifactKey attack_key(const ArtifactKey& channels, const AttackSpec& attack) {
+  KeyHasher hasher = chain(StageTag::Attack, channels);
+  hasher.mix_range(attack.entries)
+      .mix(static_cast<std::uint64_t>(attack.target))
+      .mix(attack.strategy)
+      .mix(attack.detection)
+      .mix(attack.runs)
+      .mix(attack.max_ticks)
+      .mix(attack.seed);
+  return hasher.key();
+}
+
+ArtifactKey metric_key(const ArtifactKey& solve, const MetricsSpec& metrics) {
+  KeyHasher hasher = chain(StageTag::Metric, solve);
+  hasher.mix_range(metrics.entries)
+      .mix_range(metrics.targets)
+      .mix(metrics.engine)
+      .mix(metrics.samples)
+      .mix(metrics.exact_max_edges)
+      .mix(metrics.seed);
+  return hasher.key();
+}
+
+// ---------------------------------------------------------------------------
+// Stage bodies.  Each runs inside a scheduler task: it propagates an
+// ancestor's error instead of computing, catches its own exceptions into
+// the slot's error, and releases the parent payloads it consumed.
+
+sim::SimulationParams attack_params(const AttackSpec& attack) {
+  sim::SimulationParams params;
+  if (attack.strategy == "sophisticated") {
+    params.strategy = sim::AttackerStrategy::Sophisticated;
+  } else if (attack.strategy == "uniform") {
+    params.strategy = sim::AttackerStrategy::Uniform;
+  } else {
+    throw InvalidArgument("unknown attacker strategy: " + attack.strategy +
+                          " (known: sophisticated, uniform)");
+  }
+  params.detection_probability = attack.detection;
+  params.max_ticks = attack.max_ticks;
+  return params;
+}
+
+void run_workload_stage(WorkloadStore::Slot& slot, const WorkloadParams& params,
+                        std::uint64_t seed) {
+  try {
+    support::Stopwatch watch;
+    WorkloadParams seeded = params;
+    seeded.seed = seed;  // the scenario seed is the cell's RNG stream
+    auto instance = std::make_shared<WorkloadInstance>(make_workload(seeded));
+    slot.summary.links = instance->network->topology().edge_count();
+    slot.summary.variables = instance->network->instance_count();
+    slot.summary.seconds = watch.seconds();
+    slot.payload = std::move(instance);
+  } catch (const std::exception& error) {
+    slot.error = error.what();
+  }
+}
+
+void run_problem_stage(ProblemStore::Slot& slot, WorkloadStore& workloads,
+                       std::size_t workload_slot, const std::string& recipe) {
+  const WorkloadStore::Slot& parent = workloads.at(workload_slot);
+  if (!parent.error.empty()) {
+    slot.error = parent.error;
+  } else {
+    try {
+      support::Stopwatch watch;
+      const std::shared_ptr<const WorkloadInstance> workload = parent.payload;
+      // Aliased shared_ptr: the network pointer, the workload's lifetime.
+      std::shared_ptr<const core::Network> network(workload, workload->network.get());
+      core::ConstraintSet constraints = apply_constraint_recipe(recipe, *network);
+      slot.payload =
+          std::make_shared<ProblemArtifact>(std::move(network), std::move(constraints));
+      slot.summary.seconds = watch.seconds();
+    } catch (const std::exception& error) {
+      slot.error = error.what();
+    }
+  }
+  workloads.release(workload_slot);
+}
+
+void run_solve_stage(SolveStore::Slot& slot, ProblemStore& problems, std::size_t problem_slot,
+                     const ScenarioSpec& spec, bool parallel) {
+  const ProblemStore::Slot& parent = problems.at(problem_slot);
+  if (!parent.error.empty()) {
+    slot.error = parent.error;
+  } else {
+    try {
+      support::Stopwatch watch;
+      const std::shared_ptr<const ProblemArtifact> problem = parent.payload;
+
+      core::OptimizeOptions options;
+      options.solver = spec.solver;
+      options.solve = spec.solve;
+      options.decompose = spec.decompose;
+      options.parallel = parallel;
+
+      // Shared-ownership optimizer: aliases the problem artifact, so the
+      // network cannot die under it however long the solve runs.
+      const core::Optimizer optimizer(
+          std::shared_ptr<const core::Network>(problem, &problem->problem.network()));
+      core::OptimizeOutcome outcome = optimizer.optimize_problem(problem->problem, options);
+      ensure(outcome.assignment.complete(), "run_scenario",
+             "solver returned an incomplete assignment");
+
+      slot.summary.energy = outcome.solve.energy;
+      slot.summary.lower_bound = outcome.solve.lower_bound;
+      slot.summary.iterations = outcome.solve.iterations;
+      slot.summary.converged = outcome.solve.converged;
+      slot.summary.constraints_satisfied = outcome.constraints_satisfied;
+      slot.summary.total_similarity = outcome.pairwise_similarity;
+      slot.summary.average_similarity = core::average_edge_similarity(outcome.assignment);
+      slot.summary.normalized_richness = core::normalized_effective_richness(outcome.assignment);
+      slot.payload = std::make_shared<SolveArtifact>(SolveArtifact{problem, std::move(outcome)});
+      slot.summary.seconds = watch.seconds();
+    } catch (const std::exception& error) {
+      slot.error = error.what();
+    }
+  }
+  problems.release(problem_slot);
+}
+
+void run_channels_stage(ChannelsStore::Slot& slot, SolveStore& solves, std::size_t solve_slot,
+                        const bayes::PropagationModel& model) {
+  const SolveStore::Slot& parent = solves.at(solve_slot);
+  if (!parent.error.empty()) {
+    slot.error = parent.error;
+  } else {
+    try {
+      support::Stopwatch watch;
+      // The channel pools only read the assignment during construction, so
+      // they need no keepalive of the solve artifact afterwards.
+      slot.payload = std::make_shared<const sim::PropagationChannels>(
+          parent.payload->outcome.assignment, model);
+      slot.summary.seconds = watch.seconds();
+    } catch (const std::exception& error) {
+      slot.error = error.what();
+    }
+  }
+  solves.release(solve_slot);
+}
+
+/// The attack block's MTTC aggregation over the entry hosts —
+/// deterministic given the spec (historical per-entry seed formula).
+void run_attack_stage(AttackStore::Slot& slot, ChannelsStore& channels,
+                      std::size_t channels_slot, const AttackSpec& attack, bool parallel) {
+  const ChannelsStore::Slot& parent = channels.at(channels_slot);
+  if (!parent.error.empty()) {
+    slot.error = parent.error;
+  } else {
+    try {
+      require(!attack.entries.empty(), "run_attack", "attack block needs at least one entry");
+      require(attack.runs > 0, "run_attack", "attack block needs at least one run");
+
+      support::Stopwatch watch;
+      const sim::CompiledPropagation propagation(parent.payload, attack_params(attack));
+      double mean_sum = 0.0;
+      double uncensored_sum = 0.0;
+      std::size_t uncensored_runs = 0;
+      for (std::size_t e = 0; e < attack.entries.size(); ++e) {
+        // Distinct deterministic seed per entry — sim::run_mttc_grid's
+        // historical per-entry formula.
+        const std::uint64_t entry_seed = attack.seed + 1000003ULL * e;
+        const sim::MttcResult mttc = propagation.mttc(attack.entries[e], attack.target,
+                                                      attack.runs, entry_seed, parallel);
+        mean_sum += mttc.mean;
+        slot.summary.censored += mttc.censored;
+        const std::size_t reached = attack.runs - mttc.censored;
+        if (reached > 0) {
+          uncensored_sum += mttc.uncensored_mean * static_cast<double>(reached);
+          uncensored_runs += reached;
+        }
+      }
+      slot.summary.runs = attack.runs * attack.entries.size();
+      slot.summary.mean = mean_sum / static_cast<double>(attack.entries.size());
+      slot.summary.uncensored_mean =
+          uncensored_runs > 0 ? uncensored_sum / static_cast<double>(uncensored_runs)
+                              : std::numeric_limits<double>::quiet_NaN();
+      slot.summary.seconds = watch.seconds();
+    } catch (const std::exception& error) {
+      slot.error = error.what();
+    }
+  }
+  channels.release(channels_slot);
+}
+
+/// The metrics block's Def. 6 aggregation over entry × target pairs —
+/// deterministic given the spec (the sharded sampler is bit-identical at
+/// any thread count).
+void run_metric_stage(MetricStore::Slot& slot, SolveStore& solves, std::size_t solve_slot,
+                      const MetricsSpec& metrics, bool parallel) {
+  const SolveStore::Slot& parent = solves.at(solve_slot);
+  if (!parent.error.empty()) {
+    slot.error = parent.error;
+  } else {
+    try {
+      require(!metrics.entries.empty(), "run_metrics", "metrics block needs at least one entry");
+      require(!metrics.targets.empty(), "run_metrics",
+              "metrics block needs at least one target");
+
+      support::Stopwatch watch;
+      const core::Assignment& assignment = parent.payload->outcome.assignment;
+      bayes::InferenceOptions inference;
+      inference.engine = bayes::inference_engine_from_name(metrics.engine);
+      inference.mc_samples = metrics.samples;
+      inference.exact_max_edges = metrics.exact_max_edges;
+      inference.parallel = parallel;
+
+      double d_bn_sum = 0.0;
+      double with_sum = 0.0;
+      double without_sum = 0.0;
+      double d_bn_min = std::numeric_limits<double>::infinity();
+      for (std::size_t e = 0; e < metrics.entries.size(); ++e) {
+        // Distinct deterministic stream per entry — the attack block's
+        // per-entry formula.
+        inference.seed = metrics.seed + 1000003ULL * e;
+        const bayes::CompiledReliability compiled(assignment, metrics.entries[e],
+                                                  bayes::PropagationModel{});
+        const bayes::ReliabilitySweep sweep = compiled.solve_targets(metrics.targets, inference);
+        for (const core::HostId target : metrics.targets) {
+          const double p_with = sweep.p[target];
+          const double p_without = sweep.p_baseline[target];
+          require(p_with > 0.0, "run_metrics",
+                  "metrics target " + std::to_string(target) + " is unreachable from entry " +
+                      std::to_string(metrics.entries[e]) + " (d_bn is undefined)");
+          const double d_bn = p_without / p_with;
+          d_bn_sum += d_bn;
+          with_sum += p_with;
+          without_sum += p_without;
+          d_bn_min = std::min(d_bn_min, d_bn);
+        }
+      }
+      const auto pairs = static_cast<double>(metrics.entries.size() * metrics.targets.size());
+      slot.summary.pairs = metrics.entries.size() * metrics.targets.size();
+      slot.summary.d_bn_mean = d_bn_sum / pairs;
+      slot.summary.d_bn_min = d_bn_min;
+      slot.summary.p_with_mean = with_sum / pairs;
+      slot.summary.p_without_mean = without_sum / pairs;
+      slot.summary.seconds = watch.seconds();
+    } catch (const std::exception& error) {
+      slot.error = error.what();
+    }
+  }
+  solves.release(solve_slot);
+}
+
+// ---------------------------------------------------------------------------
+// The task DAG and its scheduler.
+
+struct Task {
+  std::function<void()> body;  ///< never throws (stage bodies catch)
+  std::atomic<std::size_t> pending{0};
+  std::vector<std::size_t> dependents;
+};
+
+/// Runs the DAG: ready tasks are dispatched to the pool, and completing
+/// tasks unlock their dependents (dependency counting).  Stage bodies
+/// catch their own failures into slot errors, so a throwing body can only
+/// be infrastructure or a user `on_result` callback — the DAG still
+/// drains (dependents must run to keep refcounts and the report sound)
+/// and the first exception is rethrown afterwards, the run_cells /
+/// parallel_for contract ("exceptions propagate, first wins").
+void run_dag(std::deque<Task>& tasks, std::size_t threads) {
+  if (tasks.empty()) return;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto run_body = [&](Task& task) {
+    try {
+      task.body();
+    } catch (...) {
+      const std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (threads <= 1) {
+    // Deterministic topological worklist (FIFO, seeded in plan order).
+    std::vector<std::size_t> ready;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].pending.load(std::memory_order_relaxed) == 0) ready.push_back(t);
+    }
+    for (std::size_t next = 0; next < ready.size(); ++next) {
+      Task& task = tasks[ready[next]];
+      run_body(task);
+      for (const std::size_t dependent : task.dependents) {
+        if (tasks[dependent].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ready.push_back(dependent);
+        }
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  // Snapshot the initially-ready set BEFORE any worker runs: once tasks
+  // execute, dependents start reaching pending == 0 through the dependency
+  // path, and a live scan here would submit those a second time.
+  std::vector<std::size_t> ready;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].pending.load(std::memory_order_relaxed) == 0) ready.push_back(t);
+  }
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = tasks.size();
+  std::function<void(std::size_t)> execute;
+  // The pool is declared after everything `execute` captures, so its
+  // destructor (which joins the workers) runs first — no worker can still
+  // be inside `execute` when the function object is destroyed.
+  support::ThreadPool pool(threads);
+
+  // Self-referential dispatch: each finished task submits the dependents
+  // it unlocked from its own worker thread.
+  execute = [&](std::size_t index) {
+    Task& task = tasks[index];
+    run_body(task);
+    for (const std::size_t dependent : task.dependents) {
+      if (tasks[dependent].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        try {
+          pool.submit([&execute, dependent] { execute(dependent); });
+        } catch (...) {
+          // submit() allocates; under memory pressure the exception would
+          // otherwise vanish into the discarded future and strand the
+          // dependent (and `remaining`) forever.  Degrade to inline
+          // execution — the DAG must drain for run() to return.
+          execute(dependent);
+        }
+      }
+    }
+    {
+      const std::lock_guard lock(mutex);
+      --remaining;
+    }
+    done.notify_one();
+  };
+
+  for (const std::size_t t : ready) {
+    pool.submit([&execute, t] { execute(t); });
+  }
+  {
+    std::unique_lock lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+
+/// Per-cell wiring: which store slots feed this cell's report row.
+struct CellPlan {
+  std::size_t workload = kNoStage;
+  std::size_t problem = kNoStage;
+  std::size_t solve = kNoStage;
+  std::size_t channels = kNoStage;
+  std::size_t attack = kNoStage;
+  std::size_t metric = kNoStage;
+};
+
+}  // namespace
+
+std::size_t resolve_batch_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ScenarioEngine::ScenarioEngine(BatchOptions options) : options_(std::move(options)) {}
+
+BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
+  const std::size_t threads = std::min(resolve_batch_threads(options_.threads),
+                                       std::max<std::size_t>(1, specs.size()));
+  const bool reuse = options_.reuse_artifacts;
+
+  BatchReport report;
+  report.threads = threads;
+  report.results.resize(specs.size());
+
+  WorkloadStore workloads;
+  ProblemStore problems;
+  SolveStore solves;
+  ChannelsStore channels;
+  AttackStore attacks;
+  MetricStore metrics;
+
+  std::deque<Task> tasks;
+  std::vector<CellPlan> cells(specs.size());
+  // Stage-task index per store slot (slots and their producing tasks are
+  // created together, so these stay parallel to each store).
+  std::vector<std::size_t> workload_task, problem_task, solve_task, channels_task, attack_task,
+      metric_task;
+
+  const auto add_task = [&](std::function<void()> body,
+                            const std::vector<std::size_t>& parents) {
+    const std::size_t index = tasks.size();
+    Task& task = tasks.emplace_back();
+    task.body = std::move(body);
+    task.pending.store(parents.size(), std::memory_order_relaxed);
+    for (const std::size_t parent : parents) tasks[parent].dependents.push_back(index);
+    return index;
+  };
+
+  // -------------------------------------------------------------- planning
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& spec = specs[i];
+    CellPlan& cell = cells[i];
+    const bool parallel = options_.inner_parallel.value_or(spec.parallel);
+
+    bool fresh = false;
+    const ArtifactKey wkey = workload_key(spec);
+    cell.workload = workloads.intern(wkey, reuse, fresh);
+    if (fresh) {
+      WorkloadStore::Slot& slot = workloads.at(cell.workload);
+      workload_task.push_back(add_task(
+          [&slot, &spec] { run_workload_stage(slot, spec.workload, spec.seed); }, {}));
+    }
+
+    const ArtifactKey pkey = problem_key(wkey, spec);
+    cell.problem = problems.intern(pkey, reuse, fresh);
+    if (fresh) {
+      workloads.add_consumer(cell.workload);
+      ProblemStore::Slot& slot = problems.at(cell.problem);
+      problem_task.push_back(add_task(
+          [&slot, &workloads, workload_slot = cell.workload, &spec] {
+            run_problem_stage(slot, workloads, workload_slot, spec.constraints);
+          },
+          {workload_task[cell.workload]}));
+    }
+
+    const ArtifactKey skey = solve_key(pkey, spec);
+    cell.solve = solves.intern(skey, reuse, fresh);
+    if (fresh) {
+      problems.add_consumer(cell.problem);
+      SolveStore::Slot& slot = solves.at(cell.solve);
+      solve_task.push_back(add_task(
+          [&slot, &problems, problem_slot = cell.problem, &spec, parallel] {
+            run_solve_stage(slot, problems, problem_slot, spec, parallel);
+          },
+          {problem_task[cell.problem]}));
+    }
+
+    // Every cell's finalize releases the solve payload once, so solve
+    // artifacts with no evaluation consumers (plain solve grids) still
+    // evict as their cells complete instead of accumulating for the whole
+    // batch — the pre-refactor per-cell lifetime, kept.
+    solves.add_consumer(cell.solve);
+
+    std::vector<std::size_t> leaves{solve_task[cell.solve]};
+    if (spec.attack) {
+      // The channel pools depend on the model only — every strategy /
+      // detection / horizon combination shares them.
+      const bayes::PropagationModel model = sim::SimulationParams{}.model;
+      const ArtifactKey chkey = channels_key(skey, model);
+      cell.channels = channels.intern(chkey, reuse, fresh);
+      if (fresh) {
+        solves.add_consumer(cell.solve);
+        ChannelsStore::Slot& slot = channels.at(cell.channels);
+        channels_task.push_back(add_task(
+            [&slot, &solves, solve_slot = cell.solve, model] {
+              run_channels_stage(slot, solves, solve_slot, model);
+            },
+            {solve_task[cell.solve]}));
+      }
+
+      const ArtifactKey akey = attack_key(chkey, *spec.attack);
+      cell.attack = attacks.intern(akey, reuse, fresh);
+      if (fresh) {
+        channels.add_consumer(cell.channels);
+        AttackStore::Slot& slot = attacks.at(cell.attack);
+        attack_task.push_back(add_task(
+            [&slot, &channels, channels_slot = cell.channels, &attack = *spec.attack,
+             parallel] { run_attack_stage(slot, channels, channels_slot, attack, parallel); },
+            {channels_task[cell.channels]}));
+      }
+      leaves.push_back(attack_task[cell.attack]);
+    }
+
+    if (spec.metrics) {
+      const ArtifactKey mkey = metric_key(skey, *spec.metrics);
+      cell.metric = metrics.intern(mkey, reuse, fresh);
+      if (fresh) {
+        solves.add_consumer(cell.solve);
+        MetricStore::Slot& slot = metrics.at(cell.metric);
+        metric_task.push_back(add_task(
+            [&slot, &solves, solve_slot = cell.solve, &metric_spec = *spec.metrics, parallel] {
+              run_metric_stage(slot, solves, solve_slot, metric_spec, parallel);
+            },
+            {solve_task[cell.solve]}));
+      }
+      leaves.push_back(metric_task[cell.metric]);
+    }
+
+    // Finalize: assemble the report row from the stage summaries and fire
+    // on_result from the completing thread — a cell "completes" when its
+    // last stage does, exactly as the monolithic runner behaved.  The
+    // solve/attack/metric leaves are always distinct tasks.
+    add_task(
+        [this, &report, &specs, &cells, &workloads, &problems, &solves, &channels, &attacks,
+         &metrics, i] {
+          const ScenarioSpec& spec = specs[i];
+          const CellPlan& cell = cells[i];
+          ScenarioResult& result = report.results[i];
+          result.index = i;
+          result.name = spec.name.empty() ? spec.derive_name() : spec.name;
+          result.hosts = spec.workload.hosts;
+          result.degree = spec.workload.average_degree;
+          result.services = spec.workload.services;
+          result.products_per_service = spec.workload.products_per_service;
+          result.solver = spec.solver;
+          result.constraints = spec.constraints;
+          result.seed = spec.seed;
+          if (spec.attack) {
+            // Axis echo like solver/constraints: spec-derived, so a failed
+            // cell still lands in its (strategy, detection) aggregate group.
+            result.attack_strategy = spec.attack->strategy;
+            result.attack_detection = spec.attack->detection;
+          }
+          if (spec.metrics) result.metric_engine = spec.metrics->engine;
+
+          // First failing stage (in pipeline order) fails the cell; every
+          // other field but the axis echo is then meaningless.
+          const auto fail = [&](const std::string& error) { result.error = error; };
+          const WorkloadStore::Slot& workload = workloads.at(cell.workload);
+          const ProblemStore::Slot& problem = problems.at(cell.problem);
+          const SolveStore::Slot& solve = solves.at(cell.solve);
+          if (!workload.error.empty()) {
+            fail(workload.error);
+          } else if (!problem.error.empty()) {
+            fail(problem.error);
+          } else if (!solve.error.empty()) {
+            fail(solve.error);
+          } else {
+            result.links = workload.summary.links;
+            result.variables = workload.summary.variables;
+            result.build_seconds = workload.summary.seconds + problem.summary.seconds;
+            result.energy = solve.summary.energy;
+            result.lower_bound = solve.summary.lower_bound;
+            result.iterations = solve.summary.iterations;
+            result.converged = solve.summary.converged;
+            result.constraints_satisfied = solve.summary.constraints_satisfied;
+            result.total_similarity = solve.summary.total_similarity;
+            result.average_similarity = solve.summary.average_similarity;
+            result.normalized_richness = solve.summary.normalized_richness;
+            result.solve_seconds = solve.summary.seconds;
+            if (cell.attack != kNoStage) {
+              const AttackStore::Slot& attack = attacks.at(cell.attack);
+              if (!attack.error.empty()) {
+                fail(attack.error);
+              } else {
+                result.attacked = true;
+                result.mttc_runs = attack.summary.runs;
+                result.mttc_mean = attack.summary.mean;
+                result.mttc_uncensored_mean = attack.summary.uncensored_mean;
+                result.mttc_censored = attack.summary.censored;
+                result.attack_seconds =
+                    channels.at(cell.channels).summary.seconds + attack.summary.seconds;
+              }
+            }
+            if (result.error.empty() && cell.metric != kNoStage) {
+              const MetricStore::Slot& metric = metrics.at(cell.metric);
+              if (!metric.error.empty()) {
+                fail(metric.error);
+              } else {
+                result.metrics_evaluated = true;
+                result.metric_pairs = metric.summary.pairs;
+                result.d_bn_mean = metric.summary.d_bn_mean;
+                result.d_bn_min = metric.summary.d_bn_min;
+                result.p_with_mean = metric.summary.p_with_mean;
+                result.p_without_mean = metric.summary.p_without_mean;
+                result.metric_seconds = metric.summary.seconds;
+              }
+            }
+          }
+          solves.release(cell.solve);
+          if (options_.on_result) options_.on_result(result);
+        },
+        leaves);
+  }
+
+  // ------------------------------------------------------------- execution
+  support::Stopwatch watch;
+  run_dag(tasks, threads);
+  report.wall_seconds = watch.seconds();
+
+  report.stage_stats.workload = workloads.counters();
+  report.stage_stats.problem = problems.counters();
+  report.stage_stats.solve = solves.counters();
+  report.stage_stats.channels = channels.counters();
+  report.stage_stats.attack = attacks.counters();
+  report.stage_stats.metric = metrics.counters();
+  return report;
+}
+
+}  // namespace icsdiv::runner

@@ -1,0 +1,60 @@
+// Staged scenario engine: the planner/scheduler behind BatchRunner.
+//
+// `run_scenario`'s historical shape — regenerate the workload, rebuild the
+// problem, recompile the MRF, re-solve, re-evaluate, per cell — wastes
+// exactly the structure a grid has: cells differing only in the
+// attack-strategy, detection or metric axis share their entire
+// generate/problem/solve prefix, and cells differing only in the solver
+// share generate/problem.  The engine makes the pipeline explicit:
+//
+//   generate -> problem -> solve -+-> channels -> attack-eval -+
+//                                 +--> metric-eval ------------+
+//                                 +--> finalize <--------------+
+//
+// Each stage's output is an immutable, shared-ownership artifact keyed by
+// a content hash of exactly the spec fields the stage depends on (see
+// artifact_cache.hpp).  Planning walks the expanded specs once,
+// deduplicates stage tasks by key, records payload consumer counts for
+// refcount eviction, and wires a dependency DAG; scheduling then runs
+// *stage tasks* (not whole cells) across the batch pool with dependency
+// counting — a solve for one prefix overlaps the generation of another.
+//
+// Determinism: every stage computes exactly what the uncached per-cell
+// path computed, with the same per-cell/per-entry seed formulas, so
+// sharing the result across cells is bit-identical by construction — at
+// any thread count, with reuse on or off (`BatchOptions::reuse_artifacts`;
+// the engine test pins cached-vs-uncached equality of every deterministic
+// report column at 1/2/8 threads).
+//
+// Ownership: artifacts co-own their ancestors (problem → network via
+// DiversificationProblem's shared-ownership ctor, solve → problem, since
+// the decoded Assignment points into the network).  The store evicts a
+// payload when its last planned consumer releases it, so peak memory
+// follows the in-flight frontier, not the grid size.
+#pragma once
+
+#include "runner/batch_runner.hpp"
+
+namespace icsdiv::runner {
+
+/// The batch-wide worker-count rule: 0 means hardware_concurrency
+/// (shared by BatchRunner's inner_parallel decision and the engine's
+/// scheduler, so the two can never disagree).
+[[nodiscard]] std::size_t resolve_batch_threads(std::size_t requested) noexcept;
+
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(BatchOptions options = {});
+
+  /// Plans the stage DAG for `specs`, executes it on
+  /// `BatchOptions::threads` workers, and assembles the per-cell report
+  /// (results in spec order, `stage_stats` filled).  Unlike BatchRunner,
+  /// a null `BatchOptions::inner_parallel` defers to each spec's
+  /// `parallel` flag with no single-worker override.
+  [[nodiscard]] BatchReport run(const std::vector<ScenarioSpec>& specs) const;
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace icsdiv::runner

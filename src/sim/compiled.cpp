@@ -24,20 +24,11 @@ void SimState::begin_run(std::size_t host_count, core::HostId entry_host) {
   entry = entry_host;
 }
 
-CompiledPropagation::CompiledPropagation(const core::Assignment& assignment,
-                                         SimulationParams params)
-    : params_(params) {
-  require(params_.model.p_avg >= 0.0 && params_.model.p_avg <= 1.0, "CompiledPropagation",
+PropagationChannels::PropagationChannels(const core::Assignment& assignment,
+                                         const bayes::PropagationModel& model)
+    : model_(model) {
+  require(model_.p_avg >= 0.0 && model_.p_avg <= 1.0, "PropagationChannels",
           "p_avg must be in [0,1]");
-  require(params_.silent_probability >= 0.0 && params_.silent_probability < 1.0,
-          "CompiledPropagation", "silent probability must be in [0,1)");
-  require(params_.max_ticks > 0, "CompiledPropagation", "max_ticks must be positive");
-  require(params_.detection_probability >= 0.0 && params_.detection_probability <= 1.0,
-          "CompiledPropagation", "detection probability must be in [0,1]");
-
-  has_silent_ = params_.silent_probability > 0.0;
-  silent_threshold_ = acceptance_threshold(params_.silent_probability);
-  detection_threshold_ = acceptance_threshold(params_.detection_probability);
 
   const core::Network& network = assignment.network();
   host_count_ = network.host_count();
@@ -67,11 +58,10 @@ CompiledPropagation::CompiledPropagation(const core::Assignment& assignment,
   for (const graph::Edge& link : edges) {
     for (const auto& [from, to] : {std::pair{link.u, link.v}, std::pair{link.v, link.u}}) {
       const auto begin = static_cast<std::uint32_t>(scratch_pool.size());
-      scratch_pool.push_back(params_.model.p_avg);  // pick 0: the baseline channel
-      double best = params_.model.p_avg;
-      if (params_.model.consider_similarity) {
-        bayes::append_similarity_probabilities(assignment, from, to, params_.model,
-                                               scratch_pool);
+      scratch_pool.push_back(model_.p_avg);  // pick 0: the baseline channel
+      double best = model_.p_avg;
+      if (model_.consider_similarity) {
+        bayes::append_similarity_probabilities(assignment, from, to, model_, scratch_pool);
         for (std::size_t p = begin + 1; p < scratch_pool.size(); ++p) {
           best = std::max(best, scratch_pool[p]);
         }
@@ -96,8 +86,44 @@ CompiledPropagation::CompiledPropagation(const core::Assignment& assignment,
   pick_begin_[link_count] = static_cast<std::uint32_t>(pick_pool_.size());
 }
 
+namespace {
+
+void validate_run_params(const SimulationParams& params) {
+  require(params.silent_probability >= 0.0 && params.silent_probability < 1.0,
+          "CompiledPropagation", "silent probability must be in [0,1)");
+  require(params.max_ticks > 0, "CompiledPropagation", "max_ticks must be positive");
+  require(params.detection_probability >= 0.0 && params.detection_probability <= 1.0,
+          "CompiledPropagation", "detection probability must be in [0,1]");
+}
+
+}  // namespace
+
+CompiledPropagation::CompiledPropagation(const core::Assignment& assignment,
+                                         SimulationParams params)
+    // Fail fast on bad run params (the historical order) — the O(V+E)
+    // channel compilation only starts once every knob validated.
+    : CompiledPropagation((validate_run_params(params),
+                           std::make_shared<const PropagationChannels>(assignment, params.model)),
+                          params) {}
+
+CompiledPropagation::CompiledPropagation(std::shared_ptr<const PropagationChannels> channels,
+                                         SimulationParams params)
+    : params_(params), channels_(std::move(channels)) {
+  require(channels_ != nullptr, "CompiledPropagation", "channels must not be null");
+  const bayes::PropagationModel& compiled = channels_->model();
+  require(compiled.p_avg == params_.model.p_avg &&
+              compiled.similarity_weight == params_.model.similarity_weight &&
+              compiled.consider_similarity == params_.model.consider_similarity,
+          "CompiledPropagation", "params.model differs from the shared channels' model");
+  validate_run_params(params_);
+  has_silent_ = params_.silent_probability > 0.0;
+  silent_threshold_ = acceptance_threshold(params_.silent_probability);
+  detection_threshold_ = acceptance_threshold(params_.detection_probability);
+}
+
 bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rng& rng,
                                bool& dead) const {
+  const PropagationChannels& ch = *channels_;
   const std::uint32_t epoch = state.epoch;
   const bool sophisticated = params_.strategy == AttackerStrategy::Sophisticated;
   // With the defender off, a host whose neighbours are all marked can
@@ -105,8 +131,8 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
   // scan may drop it with a bit-identical stream.  With the defender on,
   // `active` is also the detection-roll list and must stay complete.
   const bool prune = params_.detection_probability == 0.0;
-  if (state.gather.size() < max_degree_) state.gather.resize(max_degree_);
-  if (state.fresh.size() < link_to_.size()) state.fresh.resize(link_to_.size());
+  if (state.gather.size() < ch.max_degree_) state.gather.resize(ch.max_degree_);
+  if (state.fresh.size() < ch.link_to_.size()) state.fresh.resize(ch.link_to_.size());
   std::uint32_t* const gather = state.gather.data();
   core::HostId* const fresh = state.fresh.data();
   std::size_t fresh_count = 0;
@@ -117,14 +143,14 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
   std::size_t kept = 0;
   for (std::size_t a = 0; a < attacker_count; ++a) {
     const core::HostId attacker = state.active[a];
-    const std::uint32_t begin = offsets_[attacker];
-    const std::uint32_t end = offsets_[attacker + 1];
+    const std::uint32_t begin = ch.offsets_[attacker];
+    const std::uint32_t end = ch.offsets_[attacker + 1];
     // Phase 1: branchless compaction of this attacker's susceptible links
     // (the test is data-random; a branch here mispredicts constantly).
     std::uint32_t frontier = 0;
     for (std::uint32_t l = begin; l < end; ++l) {
       gather[frontier] = l;
-      frontier += state.marked[link_to_[l]] != epoch ? 1 : 0;
+      frontier += state.marked[ch.link_to_[l]] != epoch ? 1 : 0;
     }
     if (frontier == 0) continue;  // saturated (this tick): no draws either way
     any_susceptible = true;
@@ -137,15 +163,15 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
       const std::uint32_t l = gather[i];
       std::uint64_t threshold;
       if (sophisticated) {
-        threshold = link_best_threshold_[l];
+        threshold = ch.link_best_threshold_[l];
       } else {
         // Uniform choice among the feasible exploits (baseline included),
         // optionally staying silent.
         if (has_silent_ && (rng() >> 11) < silent_threshold_) continue;
-        const std::uint32_t picks = pick_begin_[l];
-        threshold = pick_pool_[picks + rng.index(pick_begin_[l + 1] - picks)];
+        const std::uint32_t picks = ch.pick_begin_[l];
+        threshold = ch.pick_pool_[picks + rng.index(ch.pick_begin_[l + 1] - picks)];
       }
-      fresh[fresh_count] = link_to_[l];
+      fresh[fresh_count] = ch.link_to_[l];
       fresh_count += (rng() >> 11) < threshold ? 1 : 0;
     }
   }
@@ -176,7 +202,7 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
 }
 
 void CompiledPropagation::start_run(SimState& state, core::HostId entry) const {
-  state.begin_run(host_count_, entry);
+  state.begin_run(host_count(), entry);
   state.marked[entry] = state.epoch;
   state.active.push_back(entry);
   state.ever_infected = 1;
@@ -184,7 +210,7 @@ void CompiledPropagation::start_run(SimState& state, core::HostId entry) const {
 
 RunResult CompiledPropagation::run_once(core::HostId entry, core::HostId target,
                                         support::Rng& rng, SimState& state) const {
-  require(entry < host_count_ && target < host_count_, "CompiledPropagation::run_once",
+  require(entry < host_count() && target < host_count(), "CompiledPropagation::run_once",
           "unknown entry/target host");
   start_run(state, entry);
 
@@ -218,7 +244,7 @@ std::vector<std::size_t> CompiledPropagation::epidemic_curve(core::HostId entry,
                                                              std::size_t ticks,
                                                              support::Rng& rng,
                                                              SimState& state) const {
-  require(entry < host_count_, "CompiledPropagation::epidemic_curve", "unknown entry host");
+  require(entry < host_count(), "CompiledPropagation::epidemic_curve", "unknown entry host");
   start_run(state, entry);
 
   std::vector<std::size_t> curve;

@@ -56,9 +56,25 @@
 //     susceptible neighbour ends the run (`RunResult::extinct`) — a
 //     walled-off or fully-remediated worm terminates immediately.
 //     Censoring fields are unchanged (`ticks` still reports the horizon).
+//
+// The adjacency and threshold pools depend only on (assignment, model) —
+// not on the attacker strategy, the detection probability or the horizon —
+// so they live in their own immutable `PropagationChannels` object that
+// any number of `CompiledPropagation` instances (and threads) share via
+// `shared_ptr`.  A strategy/detection sweep over one solved assignment
+// pays the channel-table build once (the batch engine's attack stage
+// plans exactly that sharing).
+//
+// Thread safety: `PropagationChannels` and `CompiledPropagation` are
+// immutable after construction; every const member function is safe to
+// call concurrently from any number of threads, provided each caller uses
+// its own `SimState` and `Rng` (the only mutable state, always
+// caller-supplied).  `mttc()` relies on this internally when it shards
+// runs across the global pool.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bayes/propagation.hpp"
@@ -132,15 +148,55 @@ struct SimState {
   void begin_run(std::size_t host_count, core::HostId entry_host);
 };
 
+/// The strategy-independent half of a compiled propagation: CSR adjacency
+/// plus the per-link channel threshold pools, a pure function of
+/// (assignment, PropagationModel).  Immutable after construction and
+/// therefore freely shareable across CompiledPropagation instances and
+/// threads — cells of a {strategy × detection} sweep reuse one build.
+class PropagationChannels {
+ public:
+  /// Compiles the tables for `assignment` under `model`; the assignment is
+  /// only read during construction (a temporary is fine).
+  PropagationChannels(const core::Assignment& assignment, const bayes::PropagationModel& model);
+
+  [[nodiscard]] const bayes::PropagationModel& model() const noexcept { return model_; }
+  [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
+  [[nodiscard]] std::size_t link_count() const noexcept { return link_to_.size(); }
+
+ private:
+  friend class CompiledPropagation;
+
+  bayes::PropagationModel model_;
+  std::size_t host_count_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::uint32_t> offsets_;  ///< host_count+1 CSR offsets
+  std::vector<core::HostId> link_to_;   ///< per directed link
+  /// ceil(max(p_avg, channels)·2^53) per link — Sophisticated's draw.
+  std::vector<std::uint64_t> link_best_threshold_;
+  std::vector<std::uint32_t> pick_begin_;  ///< E+1 offsets into pick_pool_
+  /// Per link [p_avg, channel...] as acceptance thresholds.
+  std::vector<std::uint64_t> pick_pool_;
+};
+
 class CompiledPropagation {
  public:
   /// Precomputes the CSR adjacency and per-link channel tables for
   /// `assignment`; the assignment is only read during construction.
   CompiledPropagation(const core::Assignment& assignment, SimulationParams params);
 
+  /// Shares an existing channel build: `params.model` must equal the model
+  /// the channels were compiled for (throws InvalidArgument otherwise).
+  /// Strategy, silent/detection probabilities and the horizon are free to
+  /// differ — they are resolved per instance, not per channel table.
+  CompiledPropagation(std::shared_ptr<const PropagationChannels> channels,
+                      SimulationParams params);
+
   [[nodiscard]] const SimulationParams& params() const noexcept { return params_; }
-  [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
-  [[nodiscard]] std::size_t link_count() const noexcept { return link_to_.size(); }
+  [[nodiscard]] std::size_t host_count() const noexcept { return channels_->host_count(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return channels_->link_count(); }
+  [[nodiscard]] const std::shared_ptr<const PropagationChannels>& channels() const noexcept {
+    return channels_;
+  }
 
   /// One simulation run; deterministic given `rng`'s state.  `state` is
   /// caller-provided scratch, reusable across runs and simulators.
@@ -170,15 +226,7 @@ class CompiledPropagation {
   bool tick(SimState& state, core::HostId target, support::Rng& rng, bool& dead) const;
 
   SimulationParams params_;
-  std::size_t host_count_ = 0;
-  std::size_t max_degree_ = 0;
-  std::vector<std::uint32_t> offsets_;  ///< host_count+1 CSR offsets
-  std::vector<core::HostId> link_to_;   ///< per directed link
-  /// ceil(max(p_avg, channels)·2^53) per link — Sophisticated's draw.
-  std::vector<std::uint64_t> link_best_threshold_;
-  std::vector<std::uint32_t> pick_begin_;  ///< E+1 offsets into pick_pool_
-  /// Per link [p_avg, channel...] as acceptance thresholds.
-  std::vector<std::uint64_t> pick_pool_;
+  std::shared_ptr<const PropagationChannels> channels_;
   bool has_silent_ = false;  ///< gates the silent draw (a 0-probability
                              ///< threshold must not consume an RNG step)
   std::uint64_t silent_threshold_ = 0;

@@ -3,11 +3,15 @@
 // same grid + seed produces an identical report on 1 and N threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
+#include <numeric>
 #include <sstream>
 
 #include "runner/batch_runner.hpp"
+#include "support/csv.hpp"
 
 namespace icsdiv::runner {
 namespace {
@@ -70,6 +74,53 @@ TEST(ScenarioGrid, JsonRoundTripAndScalarAxes) {
   EXPECT_EQ(reparsed.hosts, grid.hosts);
   EXPECT_EQ(reparsed.seeds, grid.seeds);
   EXPECT_EQ(reparsed.size(), grid.size());
+}
+
+TEST(ScenarioGrid, CellCountRejectsGridsPastTheCap) {
+  ScenarioGrid grid = small_grid();
+  EXPECT_EQ(grid.cell_count(), grid.size());  // in-cap grids agree with size()
+
+  // 2000 × 2000 × 2 × 3 cells blows the default 1M cap: cell_count() and
+  // expand() both refuse instead of attempting a multi-GB allocation.
+  grid.seeds.assign(2000, 0);
+  std::iota(grid.seeds.begin(), grid.seeds.end(), 0);
+  grid.hosts.assign(2000, 8);
+  EXPECT_THROW(grid.cell_count(), Infeasible);
+  EXPECT_THROW(grid.expand(), Infeasible);
+  // Raising the cap re-admits the grid (the guard is configurable).
+  grid.max_cells = 100'000'000;
+  EXPECT_EQ(grid.cell_count(), 2000u * 2000u * 2u * 3u);
+}
+
+TEST(ScenarioGrid, CellCountRejectsOverflowingAxisProducts) {
+  // Seven axes of 1024 values each multiply to 2^70 — past size_t — while
+  // every individual vector stays tiny.  size() silently wraps; the
+  // checked count must throw instead of under-reserving.
+  ScenarioGrid grid;
+  grid.hosts.assign(1024, 8);
+  grid.degrees.assign(1024, 4.0);
+  grid.services.assign(1024, 1);
+  grid.products_per_service.assign(1024, 2);
+  grid.solvers.assign(1024, "icm");
+  grid.constraints.assign(1024, "none");
+  grid.seeds.assign(1024, 1);
+  EXPECT_THROW(grid.cell_count(), Infeasible);
+  EXPECT_THROW(grid.expand(), Infeasible);
+}
+
+TEST(ScenarioGrid, MaxCellsRoundTripsAndValidates) {
+  const ScenarioGrid grid =
+      ScenarioGrid::from_json(support::Json::parse(R"({"max_cells": 42})"));
+  EXPECT_EQ(grid.max_cells, 42u);
+  const ScenarioGrid reparsed = ScenarioGrid::from_json(grid.to_json());
+  EXPECT_EQ(reparsed.max_cells, 42u);
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"max_cells": 0})")),
+               InvalidArgument);
+  EXPECT_THROW(ScenarioGrid::from_json(support::Json::parse(R"({"max_cells": -1})")),
+               InvalidArgument);
+  // The default survives documents that never mention the key.
+  EXPECT_EQ(ScenarioGrid::from_json(support::Json::parse(R"({})")).max_cells,
+            ScenarioGrid::kDefaultMaxCells);
 }
 
 TEST(ScenarioGrid, UnknownKeysThrow) {
@@ -542,6 +593,68 @@ TEST(BatchRunner, ResultsStayInSpecOrder) {
     EXPECT_EQ(report.results[i].index, i);
     EXPECT_EQ(report.results[i].name, specs[i].name);
   }
+}
+
+TEST(BatchReport, NonFiniteValuesAreEmptyCsvCellsAndJsonNulls) {
+  // An all-censored MTTC cell has mttc_uncensored_mean = NaN, and ICM
+  // reports lower_bound = -inf; CSV must spell both as the empty cell
+  // (the JSON report's null), not "nan"/"-inf" strings — the two formats
+  // used to disagree (see DESIGN.md §9).
+  ScenarioSpec spec;
+  spec.workload.hosts = 12;
+  spec.workload.average_degree = 3.0;
+  spec.workload.services = 1;
+  spec.workload.products_per_service = 2;
+  spec.solver = "icm";
+  spec.seed = 3;
+
+  // Pick a target ≥ 2 hops from the entry, then censor at a 1-tick
+  // horizon: no run can ever reach it, deterministically.
+  WorkloadParams workload = spec.workload;
+  workload.seed = spec.seed;
+  const WorkloadInstance instance = make_workload(workload);
+  core::HostId target = core::kAllHosts;
+  for (core::HostId candidate = 1; candidate < 12; ++candidate) {
+    const auto neighbors = instance.network->topology().neighbors(0);
+    if (std::find(neighbors.begin(), neighbors.end(), candidate) == neighbors.end()) {
+      target = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(target, core::kAllHosts) << "host 0 is adjacent to every other host";
+
+  AttackSpec attack;
+  attack.entries = {0};
+  attack.target = target;
+  attack.runs = 5;
+  attack.max_ticks = 1;
+  spec.attack = attack;
+
+  const BatchReport report = BatchRunner(BatchOptions{.threads = 1}).run({spec});
+  ASSERT_EQ(report.failed_count(), 0u) << report.results[0].error;
+  const ScenarioResult& result = report.results[0];
+  EXPECT_EQ(result.mttc_censored, result.mttc_runs);
+  EXPECT_TRUE(std::isnan(result.mttc_uncensored_mean));
+  EXPECT_TRUE(std::isinf(result.lower_bound));  // ICM offers no dual bound
+
+  // CSV round-trip: the non-finite columns come back as empty cells while
+  // their finite neighbours survive exactly.
+  std::ostringstream out;
+  report.write_csv(out);
+  const support::CsvDocument csv = support::parse_csv(out.str());
+  ASSERT_EQ(csv.rows.size(), 1u);
+  const auto& row = csv.rows[0];
+  EXPECT_EQ(row[csv.column_index("mttc_uncensored_mean")], "");
+  EXPECT_EQ(row[csv.column_index("lower_bound")], "");
+  EXPECT_EQ(row[csv.column_index("mttc_censored")], std::to_string(result.mttc_censored));
+  EXPECT_NE(row[csv.column_index("mttc_mean")], "");
+
+  // And the JSON report nulls the same fields.
+  const support::Json json = report.to_json();
+  const auto& cell = json.as_object().at("results").as_array()[0].as_object();
+  EXPECT_TRUE(cell.at("lower_bound").is_null());
+  EXPECT_TRUE(cell.at("attack").as_object().at("mttc_uncensored_mean").is_null());
+  EXPECT_FALSE(json.dump().empty());  // no NaN/Infinity leaks into the writer
 }
 
 TEST(BatchReport, JsonCarriesCellsAndAggregates) {

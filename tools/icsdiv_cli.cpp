@@ -219,6 +219,20 @@ int run_batch(const Arguments& args) {
   std::cerr << "\n" << specs.size() - report.failed_count() << "/" << specs.size()
             << " scenarios succeeded on " << report.threads << " threads in "
             << report.wall_seconds << " s\n";
+  // Stage reuse: executed/planned per pipeline stage (hits are references
+  // served by an already-planned execution, see BatchReport::stage_stats).
+  const auto ratio = [](const runner::StageCounters& stage) {
+    return std::to_string(stage.executed) + "/" + std::to_string(stage.planned);
+  };
+  const runner::StageStats& stats = report.stage_stats;
+  std::cerr << "stage reuse (executed/planned): workloads " << ratio(stats.workload)
+            << ", problems " << ratio(stats.problem) << ", solves " << ratio(stats.solve);
+  if (grid.attack) {
+    std::cerr << ", channel pools " << ratio(stats.channels) << ", attack evals "
+              << ratio(stats.attack);
+  }
+  if (grid.metrics) std::cerr << ", metric evals " << ratio(stats.metric);
+  std::cerr << "\n";
 
   const bool attacked = grid.attack.has_value();
   const bool metered = grid.metrics.has_value();

@@ -1,0 +1,554 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+
+#include "bayes/least_effort.hpp"
+#include "bayes/metric.hpp"
+#include "core/metrics.hpp"
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "core/serialization.hpp"
+#include "mrf/registry.hpp"
+#include "nvd/similarity.hpp"
+#include "runner/artifact_cache.hpp"
+#include "runner/scenario.hpp"
+#include "sim/worm_sim.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::api {
+
+// ---------------------------------------------------------------------------
+// AdmissionGate.
+
+AdmissionGate::AdmissionGate(std::size_t max_running, std::size_t max_queued,
+                             double retry_after_seconds)
+    : max_running_(std::max<std::size_t>(max_running, 1)),
+      max_queued_(max_queued),
+      retry_after_seconds_(retry_after_seconds) {}
+
+AdmissionGate::Ticket::~Ticket() {
+  if (gate_ != nullptr) gate_->leave();
+}
+
+AdmissionGate::Ticket AdmissionGate::admit() {
+  std::unique_lock lock(mutex_);
+  if (running_ >= max_running_) {
+    if (queued_ >= max_queued_) {
+      ++rejected_;
+      throw SaturatedError("admission queue full (" + std::to_string(running_) + " running, " +
+                               std::to_string(queued_) + " queued); retry later",
+                           retry_after_seconds_);
+    }
+    ++queued_;
+    admitted_.wait(lock, [this] { return running_ < max_running_; });
+    --queued_;
+  }
+  ++running_;
+  return Ticket(this);
+}
+
+void AdmissionGate::leave() {
+  {
+    const std::lock_guard lock(mutex_);
+    --running_;
+  }
+  admitted_.notify_one();
+}
+
+std::size_t AdmissionGate::running() const {
+  const std::lock_guard lock(mutex_);
+  return running_;
+}
+
+std::size_t AdmissionGate::queued() const {
+  const std::lock_guard lock(mutex_);
+  return queued_;
+}
+
+std::size_t AdmissionGate::rejected_total() const {
+  const std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cache keys.  Domain constants separate the four key spaces; within one,
+// keys hash the exact request documents the computation depends on.
+
+enum class CacheDomain : std::uint64_t { Model = 101, Solve = 102, Eval = 103, Batch = 104 };
+
+/// Operation tag inside the eval domain.
+enum class EvalOp : std::uint64_t { Evaluate = 1, Report = 2, Similarity = 3, Metric = 4 };
+
+runner::KeyHasher domain_hasher(CacheDomain domain) {
+  runner::KeyHasher hasher;
+  hasher.mix(static_cast<std::uint64_t>(domain));
+  return hasher;
+}
+
+void mix_json(runner::KeyHasher& hasher, const support::Json& json) {
+  const std::string dump = json.dump();
+  hasher.mix(dump);
+}
+
+runner::ArtifactKey model_key(const support::Json& catalog, const support::Json& network) {
+  runner::KeyHasher hasher = domain_hasher(CacheDomain::Model);
+  mix_json(hasher, catalog);
+  mix_json(hasher, network);
+  return hasher.key();
+}
+
+// ---------------------------------------------------------------------------
+// CoalescingCache: content-addressed, in-flight-deduplicating, LRU.
+
+template <typename Value>
+class CoalescingCache {
+ public:
+  explicit CoalescingCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  struct Outcome {
+    std::shared_ptr<const Value> value;
+    /// True for the caller whose compute() produced the value; false for
+    /// warm hits and callers coalesced onto an in-flight execution.
+    bool executed = false;
+  };
+
+  template <typename Compute>
+  Outcome get_or_compute(const runner::ArtifactKey& key, Compute&& compute) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::unique_lock lock(mutex_);
+      ++counters_.planned;
+      if (const auto it = entries_.find(key); it != entries_.end()) {
+        ++counters_.hits;
+        entry = it->second;
+        entry->last_used = ++tick_;
+        ready_.wait(lock, [&] { return entry->done; });
+        if (entry->error) std::rethrow_exception(entry->error);
+        return {entry->value, false};
+      }
+      ++counters_.executed;
+      entry = std::make_shared<Entry>();
+      entry->last_used = ++tick_;
+      entries_.emplace(key, entry);
+    }
+    try {
+      std::shared_ptr<const Value> value = compute();
+      {
+        const std::lock_guard lock(mutex_);
+        entry->value = std::move(value);
+        entry->done = true;
+        evict_locked();
+      }
+      ready_.notify_all();
+      return {entry->value, true};
+    } catch (...) {
+      {
+        const std::lock_guard lock(mutex_);
+        entry->error = std::current_exception();
+        entry->done = true;
+        // Failures are not cached: later callers recompute.
+        entries_.erase(key);
+      }
+      ready_.notify_all();
+      throw;
+    }
+  }
+
+  [[nodiscard]] runner::StageCounters counters() const {
+    const std::lock_guard lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  struct Entry {
+    bool done = false;
+    std::shared_ptr<const Value> value;
+    std::exception_ptr error;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Drops least-recently-used *completed* entries beyond capacity.
+  /// In-flight entries are pinned; coalesced waiters keep their shared_ptr
+  /// alive regardless, eviction only forgets the key.
+  void evict_locked() {
+    while (entries_.size() > capacity_) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (!it->second->done) continue;
+        if (victim == entries_.end() || it->second->last_used < victim->second->last_used) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;
+      entries_.erase(victim);
+      ++counters_.evicted;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::size_t capacity_;
+  std::unordered_map<runner::ArtifactKey, std::shared_ptr<Entry>, runner::ArtifactKey::Hash>
+      entries_;
+  runner::StageCounters counters_;
+  std::uint64_t tick_ = 0;
+};
+
+/// The parsed model documents; built once per (catalog, network) content.
+/// Allocated behind shared_ptr and never moved: the network references
+/// products owned by `catalog`, so member addresses must be stable.
+struct ModelArtifact {
+  core::ProductCatalog catalog;
+  core::Network network;
+
+  ModelArtifact(const support::Json& catalog_json, const support::Json& network_json)
+      : catalog(core::catalog_from_json(catalog_json)),
+        network(core::network_from_json(catalog, network_json)) {}
+  ModelArtifact(const ModelArtifact&) = delete;
+  ModelArtifact& operator=(const ModelArtifact&) = delete;
+};
+
+/// A solved assignment, stored as the response fields (the assignment
+/// JSON is rendered once, so every consumer sees bit-identical bytes).
+struct SolveValue {
+  support::Json assignment;
+  double energy = 0.0;
+  double pairwise_similarity = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;
+};
+
+void add_counters(runner::StageCounters& into, const runner::StageCounters& from) {
+  into.planned += from.planned;
+  into.executed += from.executed;
+  into.hits += from.hits;
+  into.evicted += from.evicted;
+}
+
+void add_stage_stats(runner::StageStats& into, const runner::StageStats& from) {
+  add_counters(into.workload, from.workload);
+  add_counters(into.problem, from.problem);
+  add_counters(into.solve, from.solve);
+  add_counters(into.channels, from.channels);
+  add_counters(into.attack, from.attack);
+  add_counters(into.metric, from.metric);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session.
+
+struct Session::Impl {
+  explicit Impl(SessionOptions options)
+      : options_(std::move(options)),
+        gate_(options_.max_concurrent != 0 ? options_.max_concurrent
+                                           : std::max(1u, std::thread::hardware_concurrency()),
+              options_.max_queued, options_.retry_after_seconds),
+        models_(options_.model_cache_capacity),
+        solves_(options_.solve_cache_capacity),
+        evals_(options_.eval_cache_capacity),
+        batches_(options_.batch_cache_capacity) {}
+
+  Response execute(const Request& request) {
+    {
+      const std::lock_guard lock(stats_mutex_);
+      ++requests_total_;
+    }
+    try {
+      // Introspection bypasses admission: health stays observable even
+      // when the gate is saturated.
+      if (std::holds_alternative<StatusRequest>(request)) return status();
+      if (std::holds_alternative<VersionRequest>(request)) return version();
+      const AdmissionGate::Ticket ticket = gate_.admit();
+      return std::visit([this](const auto& typed) { return run(typed); }, request);
+    } catch (const SaturatedError&) {
+      throw;  // counted via rejected_total(), not as a failure
+    } catch (...) {
+      const std::lock_guard lock(stats_mutex_);
+      ++requests_failed_;
+      throw;
+    }
+  }
+
+  [[nodiscard]] StatusResponse status() const {
+    StatusResponse response;
+    response.uptime_seconds = started_.seconds();
+    response.requests_rejected = gate_.rejected_total();
+    response.in_flight = gate_.running();
+    response.queued = gate_.queued();
+    response.model_cache = models_.counters();
+    response.solve_cache = solves_.counters();
+    response.eval_cache = evals_.counters();
+    response.batch_cache = batches_.counters();
+    const std::lock_guard lock(stats_mutex_);
+    response.requests_total = requests_total_;
+    response.requests_failed = requests_failed_;
+    response.solve_seconds_total = solve_seconds_total_;
+    response.batch_wall_seconds_total = batch_wall_seconds_total_;
+    response.batch_stages = batch_stages_;
+    return response;
+  }
+
+ private:
+  [[nodiscard]] static VersionResponse version() {
+    VersionResponse response;
+    response.requests = request_names();
+    response.solvers = mrf::SolverRegistry::instance().names();
+    response.constraint_recipes = runner::constraint_recipe_names();
+    return response;
+  }
+
+  /// Parses (or reuses) the model documents; chained inside the dependent
+  /// caches' compute paths so model lookups are only planned on misses.
+  [[nodiscard]] std::shared_ptr<const ModelArtifact> get_model(const support::Json& catalog,
+                                                               const support::Json& network) {
+    return models_
+        .get_or_compute(model_key(catalog, network),
+                        [&] { return std::make_shared<const ModelArtifact>(catalog, network); })
+        .value;
+  }
+
+  void count_solve_seconds(double seconds) {
+    const std::lock_guard lock(stats_mutex_);
+    solve_seconds_total_ += seconds;
+  }
+
+  [[nodiscard]] Response run(const OptimizeRequest& request) {
+    const std::string solver =
+        request.solver.empty() ? core::OptimizeOptions{}.solver : request.solver;
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Solve);
+    const runner::ArtifactKey model = model_key(request.catalog, request.network);
+    hasher.mix(model.hi).mix(model.lo).mix(solver);
+    const auto outcome = solves_.get_or_compute(hasher.key(), [&] {
+      const std::shared_ptr<const ModelArtifact> artifact =
+          get_model(request.catalog, request.network);
+      core::OptimizeOptions options;
+      options.solver = solver;
+      const support::Stopwatch watch;
+      const core::Optimizer optimizer(artifact->network);
+      const core::OptimizeOutcome solved = optimizer.optimize({}, options);
+      auto value = std::make_shared<SolveValue>();
+      value->assignment = solved.assignment.to_json();
+      value->energy = solved.solve.energy;
+      value->pairwise_similarity = solved.pairwise_similarity;
+      value->iterations = solved.solve.iterations;
+      value->converged = solved.solve.converged;
+      value->seconds = watch.seconds();
+      count_solve_seconds(value->seconds);
+      return value;
+    });
+    OptimizeResponse response;
+    response.assignment = outcome.value->assignment;
+    response.energy = outcome.value->energy;
+    response.pairwise_similarity = outcome.value->pairwise_similarity;
+    response.iterations = outcome.value->iterations;
+    response.converged = outcome.value->converged;
+    response.solve_seconds = outcome.value->seconds;
+    response.cached = !outcome.executed;
+    return response;
+  }
+
+  /// Shared eval-cache path: the cached artifact is the Response itself.
+  template <typename Compute>
+  [[nodiscard]] Response eval_cached(const runner::ArtifactKey& key, Compute&& compute) {
+    const auto outcome = evals_.get_or_compute(key, [&]() -> std::shared_ptr<const Response> {
+      const support::Stopwatch watch;
+      auto value = std::make_shared<Response>(compute());
+      count_solve_seconds(watch.seconds());
+      return value;
+    });
+    Response response = *outcome.value;
+    std::visit(
+        [&](auto& typed) {
+          if constexpr (requires { typed.cached; }) typed.cached = !outcome.executed;
+        },
+        response);
+    return response;
+  }
+
+  [[nodiscard]] Response run(const EvaluateRequest& request) {
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
+    hasher.mix(static_cast<std::uint64_t>(EvalOp::Evaluate));
+    mix_json(hasher, request.catalog);
+    mix_json(hasher, request.network);
+    mix_json(hasher, request.assignment);
+    hasher.mix(request.entry).mix(request.target);
+    return eval_cached(hasher.key(), [&]() -> Response {
+      const std::shared_ptr<const ModelArtifact> model =
+          get_model(request.catalog, request.network);
+      const core::Assignment assignment =
+          core::Assignment::from_json(model->network, request.assignment);
+      EvaluateResponse response;
+      response.edge_similarity = core::total_edge_similarity(assignment);
+      response.average_similarity = core::average_edge_similarity(assignment);
+      response.normalized_richness = core::normalized_effective_richness(assignment);
+      if (!request.entry.empty()) {
+        const core::HostId entry = model->network.host_id(request.entry);
+        const core::HostId target = model->network.host_id(request.target);
+        const bayes::DiversityMetricResult metric =
+            bayes::bn_diversity_metric(assignment, entry, target);
+        response.pair_evaluated = true;
+        response.d_bn = metric.d_bn;
+        response.log10_p_with = metric.log10_with();
+        response.exploit_count = bayes::least_attack_effort(assignment, entry, target).exploit_count;
+        const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
+        const sim::MttcResult mttc = simulator.mttc(entry, target, 500, 1);
+        response.mttc_runs = mttc.runs;
+        response.mttc_mean = mttc.mean;
+        response.mttc_uncensored_mean = mttc.uncensored_mean;
+        response.mttc_censored = mttc.censored;
+      }
+      return response;
+    });
+  }
+
+  [[nodiscard]] Response run(const ReportRequest& request) {
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
+    hasher.mix(static_cast<std::uint64_t>(EvalOp::Report));
+    mix_json(hasher, request.catalog);
+    mix_json(hasher, request.network);
+    mix_json(hasher, request.assignment);
+    return eval_cached(hasher.key(), [&]() -> Response {
+      const std::shared_ptr<const ModelArtifact> model =
+          get_model(request.catalog, request.network);
+      const core::Assignment assignment =
+          core::Assignment::from_json(model->network, request.assignment);
+      core::ReportOptions options;
+      options.include_full_listing = true;
+      ReportResponse response;
+      response.text = core::diversification_report(assignment, {}, options);
+      return response;
+    });
+  }
+
+  [[nodiscard]] Response run(const SimilarityRequest& request) {
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
+    hasher.mix(static_cast<std::uint64_t>(EvalOp::Similarity));
+    mix_json(hasher, request.feed);
+    hasher.mix_range(request.cpes);
+    return eval_cached(hasher.key(), [&]() -> Response {
+      const nvd::VulnerabilityDatabase feed = nvd::VulnerabilityDatabase::from_json(request.feed);
+      std::vector<nvd::ProductRef> products;
+      for (const std::string& cpe : request.cpes) {
+        products.push_back(nvd::ProductRef{cpe, nvd::CpeUri::parse(cpe)});
+      }
+      const nvd::SimilarityTable table = nvd::SimilarityTable::from_database(feed, products);
+      SimilarityResponse response;
+      for (std::size_t i = 0; i < products.size(); ++i) {
+        for (std::size_t j = i + 1; j < products.size(); ++j) {
+          response.pairs.push_back({products[i].name, products[j].name, table.similarity(i, j),
+                                    table.shared_count(i, j), table.total_count(i),
+                                    table.total_count(j)});
+        }
+      }
+      return response;
+    });
+  }
+
+  [[nodiscard]] Response run(const MetricRequest& request) {
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
+    hasher.mix(static_cast<std::uint64_t>(EvalOp::Metric));
+    mix_json(hasher, request.catalog);
+    mix_json(hasher, request.network);
+    mix_json(hasher, request.assignment);
+    hasher.mix(request.entry).mix(request.target);
+    return eval_cached(hasher.key(), [&]() -> Response {
+      const std::shared_ptr<const ModelArtifact> model =
+          get_model(request.catalog, request.network);
+      const core::Assignment assignment =
+          core::Assignment::from_json(model->network, request.assignment);
+      const bayes::DiversityMetricResult metric = bayes::bn_diversity_metric(
+          assignment, model->network.host_id(request.entry), model->network.host_id(request.target));
+      MetricResponse response;
+      response.d_bn = metric.d_bn;
+      response.p_with = metric.p_with_similarity;
+      response.p_without = metric.p_without_similarity;
+      return response;
+    });
+  }
+
+  [[nodiscard]] Response run(const BatchRequest& request) {
+    runner::KeyHasher hasher = domain_hasher(CacheDomain::Batch);
+    mix_json(hasher, request.grid);
+    hasher.mix(static_cast<std::uint64_t>(request.threads));
+    const auto outcome = batches_.get_or_compute(hasher.key(), [&] {
+      const runner::ScenarioGrid grid = runner::ScenarioGrid::from_json(request.grid);
+      const std::vector<runner::ScenarioSpec> specs = grid.expand();
+      require(!specs.empty(), "batch", "grid expands to zero scenarios");
+      // Fail on typos before any (potentially huge) workload gets built.
+      for (const std::string& solver : grid.solvers) {
+        if (!mrf::SolverRegistry::instance().contains(solver)) {
+          throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
+                                mrf::SolverRegistry::instance().names_joined(", ") + ")");
+        }
+      }
+      const std::vector<std::string> recipes = runner::constraint_recipe_names();
+      for (const std::string& recipe : grid.constraints) {
+        if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
+          throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
+        }
+      }
+      runner::BatchOptions options;
+      options.threads = request.threads;
+      options.on_result = options_.on_batch_result;
+      const runner::BatchRunner batch(options);
+      const runner::BatchReport report = batch.run(specs);
+      auto value = std::make_shared<BatchResponse>();
+      value->report = report.to_json();
+      std::ostringstream csv;
+      report.write_csv(csv);
+      value->csv = csv.str();
+      value->cells = specs.size();
+      value->failed = report.failed_count();
+      {
+        const std::lock_guard lock(stats_mutex_);
+        batch_wall_seconds_total_ += report.wall_seconds;
+        add_stage_stats(batch_stages_, report.stage_stats);
+      }
+      return value;
+    });
+    BatchResponse response = *outcome.value;
+    response.cached = !outcome.executed;
+    return response;
+  }
+
+  [[nodiscard]] Response run(const StatusRequest&) { return status(); }
+  [[nodiscard]] Response run(const VersionRequest&) { return version(); }
+
+  SessionOptions options_;
+  support::Stopwatch started_;
+  AdmissionGate gate_;
+  CoalescingCache<ModelArtifact> models_;
+  CoalescingCache<SolveValue> solves_;
+  CoalescingCache<Response> evals_;
+  CoalescingCache<BatchResponse> batches_;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t requests_total_ = 0;
+  std::size_t requests_failed_ = 0;
+  double solve_seconds_total_ = 0.0;
+  double batch_wall_seconds_total_ = 0.0;
+  runner::StageStats batch_stages_;
+};
+
+Session::Session(SessionOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Session::~Session() = default;
+
+Response Session::execute(const Request& request) { return impl_->execute(request); }
+
+StatusResponse Session::status() const { return impl_->status(); }
+
+Response execute(const Request& request, Session& session) { return session.execute(request); }
+
+}  // namespace icsdiv::api

@@ -1,0 +1,120 @@
+// The process-lifetime execution context behind `api::execute` — the
+// piece that turns PR-5's per-run artifact reuse into a *service*
+// property (DESIGN.md §10).
+//
+// A Session owns four coalescing caches keyed by 128-bit content hashes
+// (runner::KeyHasher over the request documents):
+//
+//   model  — parsed ProductCatalog + Network per (catalog, network) pair
+//   solve  — solved assignments per (model, solver)
+//   eval   — evaluate/report/similarity/metric responses per input
+//   batch  — full batch reports per (grid, threads)
+//
+// "Coalescing" means identical *in-flight* requests share one execution:
+// the first caller computes, concurrent callers with the same key block
+// on it and receive the same immutable value (counted as cache hits), so
+// N identical concurrent `optimize` requests execute exactly one solve.
+// Failed computations are not cached — waiters observe the error, later
+// callers recompute.  Warm entries are evicted least-recently-used per
+// cache once its capacity is exceeded.
+//
+// Admission is bounded: at most `max_concurrent` requests execute while
+// up to `max_queued` wait; beyond that the Session rejects with
+// SaturatedError carrying a retry-after hint (`status`/`version` bypass
+// admission so health stays observable under load).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "api/requests.hpp"
+#include "runner/batch_runner.hpp"
+
+namespace icsdiv::api {
+
+struct SessionOptions {
+  /// Per-cache entry capacities (LRU beyond these).
+  std::size_t model_cache_capacity = 32;
+  std::size_t solve_cache_capacity = 128;
+  std::size_t eval_cache_capacity = 128;
+  std::size_t batch_cache_capacity = 8;
+  /// Admission bound: concurrent executing requests; 0 = hardware threads.
+  std::size_t max_concurrent = 0;
+  /// Requests allowed to wait for admission before rejection.
+  std::size_t max_queued = 64;
+  /// Retry-after hint attached to SaturatedError rejections.
+  double retry_after_seconds = 1.0;
+  /// Per-cell progress callback for executed (non-coalesced) batches.
+  std::function<void(const runner::ScenarioResult&)> on_batch_result;
+};
+
+/// Bounded run/queue admission control.  Exposed for direct testing; the
+/// Session holds one and admits every compute request through it.
+class AdmissionGate {
+ public:
+  AdmissionGate(std::size_t max_running, std::size_t max_queued, double retry_after_seconds);
+
+  /// RAII admission slot; releasing it admits the next queued request.
+  class Ticket {
+   public:
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) { other.gate_ = nullptr; }
+    Ticket& operator=(Ticket&&) = delete;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+   private:
+    friend class AdmissionGate;
+    explicit Ticket(AdmissionGate* gate) noexcept : gate_(gate) {}
+    AdmissionGate* gate_;
+  };
+
+  /// Admits immediately, waits in the bounded queue, or throws
+  /// SaturatedError (with the retry-after hint) when the queue is full.
+  [[nodiscard]] Ticket admit();
+
+  [[nodiscard]] std::size_t running() const;
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t rejected_total() const;
+
+ private:
+  void leave();
+
+  mutable std::mutex mutex_;
+  std::condition_variable admitted_;
+  std::size_t max_running_;
+  std::size_t max_queued_;
+  double retry_after_seconds_;
+  std::size_t running_ = 0;
+  std::size_t queued_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// One warm execution context.  Thread-safe: any number of threads may
+/// call execute() concurrently (that is the daemon's request path).
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Executes one request against the warm caches.  Throws the mapped
+  /// `icsdiv::Error` subclass on failure (status.hpp).
+  [[nodiscard]] Response execute(const Request& request);
+
+  /// The `status` snapshot (also what a StatusRequest returns).
+  [[nodiscard]] StatusResponse status() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The transport-agnostic entry point: every front-end (CLI, daemon,
+/// in-process embedding) funnels its requests through this.
+[[nodiscard]] Response execute(const Request& request, Session& session);
+
+}  // namespace icsdiv::api

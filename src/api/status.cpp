@@ -1,0 +1,129 @@
+#include "api/status.hpp"
+
+namespace icsdiv::api {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::Ok:
+      return "ok";
+    case StatusCode::InvalidArgument:
+      return "invalid_argument";
+    case StatusCode::ParseError:
+      return "parse_error";
+    case StatusCode::NotFound:
+      return "not_found";
+    case StatusCode::Infeasible:
+      return "infeasible";
+    case StatusCode::LogicError:
+      return "logic_error";
+    case StatusCode::Saturated:
+      return "saturated";
+    case StatusCode::PartialFailure:
+      return "partial_failure";
+    case StatusCode::Internal:
+      return "internal";
+  }
+  return "internal";
+}
+
+StatusCode status_code_from_name(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::Ok, StatusCode::InvalidArgument, StatusCode::ParseError, StatusCode::NotFound,
+        StatusCode::Infeasible, StatusCode::LogicError, StatusCode::Saturated,
+        StatusCode::PartialFailure, StatusCode::Internal}) {
+    if (status_code_name(code) == name) return code;
+  }
+  throw InvalidArgument("unknown status code: " + std::string(name));
+}
+
+int exit_code(StatusCode code) noexcept { return static_cast<int>(code); }
+
+StatusCode status_code_for(const std::exception& error) noexcept {
+  // Most-derived first: SaturatedError and ParseError both derive Error.
+  if (dynamic_cast<const SaturatedError*>(&error)) return StatusCode::Saturated;
+  if (dynamic_cast<const InvalidArgument*>(&error)) return StatusCode::InvalidArgument;
+  if (dynamic_cast<const ParseError*>(&error)) return StatusCode::ParseError;
+  if (dynamic_cast<const NotFound*>(&error)) return StatusCode::NotFound;
+  if (dynamic_cast<const Infeasible*>(&error)) return StatusCode::Infeasible;
+  if (dynamic_cast<const LogicError*>(&error)) return StatusCode::LogicError;
+  return StatusCode::Internal;
+}
+
+namespace {
+
+std::string_view detail_for(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::InvalidArgument:
+      return "icsdiv::InvalidArgument";
+    case StatusCode::ParseError:
+      return "icsdiv::ParseError";
+    case StatusCode::NotFound:
+      return "icsdiv::NotFound";
+    case StatusCode::Infeasible:
+      return "icsdiv::Infeasible";
+    case StatusCode::LogicError:
+      return "icsdiv::LogicError";
+    case StatusCode::Saturated:
+      return "icsdiv::api::SaturatedError";
+    default:
+      return "std::exception";
+  }
+}
+
+}  // namespace
+
+support::Json ErrorBody::to_json() const {
+  support::JsonObject object;
+  object.set("code", support::Json(status_code_name(code)));
+  object.set("message", support::Json(message));
+  object.set("detail", support::Json(detail));
+  if (retry_after_seconds >= 0.0) {
+    object.set("retry_after_seconds", support::Json(retry_after_seconds));
+  }
+  return support::Json(std::move(object));
+}
+
+ErrorBody ErrorBody::from_json(const support::Json& json) {
+  const support::JsonObject& object = json.as_object();
+  ErrorBody body;
+  body.code = status_code_from_name(object.at("code").as_string());
+  body.message = object.at("message").as_string();
+  if (const support::Json* detail = object.find("detail")) body.detail = detail->as_string();
+  if (const support::Json* retry = object.find("retry_after_seconds")) {
+    body.retry_after_seconds = retry->as_double();
+  }
+  return body;
+}
+
+ErrorBody make_error_body(const std::exception& error) {
+  ErrorBody body;
+  body.code = status_code_for(error);
+  body.message = error.what();
+  body.detail = detail_for(body.code);
+  if (const auto* saturated = dynamic_cast<const SaturatedError*>(&error)) {
+    body.retry_after_seconds = saturated->retry_after_seconds();
+  }
+  return body;
+}
+
+void throw_error_body(const ErrorBody& body) {
+  switch (body.code) {
+    case StatusCode::InvalidArgument:
+      throw InvalidArgument(body.message);
+    case StatusCode::ParseError:
+      throw ParseError(body.message);
+    case StatusCode::NotFound:
+      throw NotFound(body.message);
+    case StatusCode::Infeasible:
+      throw Infeasible(body.message);
+    case StatusCode::LogicError:
+      throw LogicError(body.message);
+    case StatusCode::Saturated:
+      throw SaturatedError(body.message,
+                           body.retry_after_seconds >= 0.0 ? body.retry_after_seconds : 1.0);
+    default:
+      throw Error(body.message);
+  }
+}
+
+}  // namespace icsdiv::api

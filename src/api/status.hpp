@@ -1,0 +1,80 @@
+// Stable status codes for the icsdiv request API (DESIGN.md §10).
+//
+// Every front-end failure — CLI or daemon — maps one `icsdiv::Error`
+// subclass to one named status code, one machine-readable error body
+// `{code, message, detail}`, and one process exit code.  The mapping is
+// part of the wire protocol: scripts may branch on the code name or the
+// exit code, so both are frozen here rather than improvised per call
+// site (the CLI's historical 1-vs-2 exit codes predate this table).
+#pragma once
+
+#include <exception>
+#include <string>
+#include <string_view>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace icsdiv::api {
+
+/// Outcome classes of one request, ordered by exit code.
+enum class StatusCode {
+  Ok = 0,               ///< request succeeded
+  InvalidArgument = 2,  ///< caller violated a documented precondition
+  ParseError = 3,       ///< input document could not be parsed
+  NotFound = 4,         ///< a named entity (file, host, product) is absent
+  Infeasible = 5,       ///< constraints unsatisfiable / computation cannot proceed
+  LogicError = 6,       ///< internal invariant broken (a library bug)
+  Saturated = 7,        ///< admission queue full; retry after the hinted delay
+  PartialFailure = 8,   ///< batch completed, but some cells failed
+  Internal = 9,         ///< any other exception
+};
+
+/// The wire spelling ("ok", "invalid_argument", ...).  Stable.
+[[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
+
+/// Inverse of status_code_name(); throws InvalidArgument on unknown names.
+[[nodiscard]] StatusCode status_code_from_name(std::string_view name);
+
+/// Process exit code for the CLI (the enum value; named for intent).
+[[nodiscard]] int exit_code(StatusCode code) noexcept;
+
+/// Thrown when the admission queue is full: the request was never
+/// started, and the caller should retry after `retry_after_seconds`.
+class SaturatedError : public Error {
+ public:
+  SaturatedError(const std::string& what, double retry_after_seconds)
+      : Error(what), retry_after_seconds_(retry_after_seconds) {}
+
+  [[nodiscard]] double retry_after_seconds() const noexcept { return retry_after_seconds_; }
+
+ private:
+  double retry_after_seconds_;
+};
+
+/// Maps an exception to its status code (most-derived Error subclass wins;
+/// non-icsdiv exceptions are Internal).
+[[nodiscard]] StatusCode status_code_for(const std::exception& error) noexcept;
+
+/// The machine-readable error payload shared by CLI `--format json`
+/// output and the daemon protocol's error envelope.
+struct ErrorBody {
+  StatusCode code = StatusCode::Internal;
+  std::string message;  ///< the exception's what()
+  std::string detail;   ///< the exception's type ("icsdiv::NotFound", ...)
+  /// Backoff hint, only meaningful for Saturated (negative = absent).
+  double retry_after_seconds = -1.0;
+
+  /// {"code": ..., "message": ..., "detail": ...[, "retry_after_seconds": ...]}
+  [[nodiscard]] support::Json to_json() const;
+  static ErrorBody from_json(const support::Json& json);
+};
+
+/// Builds the error body for an exception (code, message, type detail).
+[[nodiscard]] ErrorBody make_error_body(const std::exception& error);
+
+/// Rethrows the exception an error body describes, reconstructing the
+/// matching `icsdiv::Error` subclass (the daemon client's error path).
+[[noreturn]] void throw_error_body(const ErrorBody& body);
+
+}  // namespace icsdiv::api

@@ -1,0 +1,32 @@
+#include "daemon/client.hpp"
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace icsdiv::daemon {
+
+Client Client::connect(const support::Endpoint& endpoint) {
+  return Client(support::Socket::connect(endpoint));
+}
+
+api::Response Client::call(const api::Request& request) {
+  return api::response_from_wire(call_raw(api::request_to_wire(request)));
+}
+
+support::Json Client::call_raw(const support::Json& wire) {
+  return support::Json::parse(call_text(wire.dump()));
+}
+
+std::string Client::call_text(std::string_view payload) {
+  socket_.write_all(encode_frame(payload));
+  std::vector<char> buffer(64u << 10);
+  while (true) {
+    if (std::optional<std::string> reply = decoder_.next()) return *reply;
+    const std::size_t count = socket_.read_some(buffer.data(), buffer.size());
+    if (count == 0) throw Error("server closed the connection mid-reply");
+    decoder_.feed({buffer.data(), count});
+  }
+}
+
+}  // namespace icsdiv::daemon

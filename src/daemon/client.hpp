@@ -1,0 +1,48 @@
+// A blocking icsdivd client: one connection, framed request/response.
+//
+// `call` is the typed path — it sends an api::Request envelope and
+// returns the decoded api::Response, rethrowing the server's error
+// envelope as the matching icsdiv::Error subclass (a daemon failure is
+// indistinguishable from a local api::execute failure, which is the
+// point of the transport-agnostic API).  `call_raw` exchanges raw JSON
+// envelopes for tests and tools that speak the wire format directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "api/requests.hpp"
+#include "daemon/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace icsdiv::daemon {
+
+class Client {
+ public:
+  /// Connects (throws NotFound when nothing listens on `endpoint`).
+  [[nodiscard]] static Client connect(const support::Endpoint& endpoint);
+  [[nodiscard]] static Client connect(std::string_view endpoint) {
+    return connect(support::Endpoint::parse(endpoint));
+  }
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  /// Typed round-trip; server-side errors rethrow as icsdiv exceptions.
+  [[nodiscard]] api::Response call(const api::Request& request);
+
+  /// Raw JSON envelope round-trip (no error mapping).
+  [[nodiscard]] support::Json call_raw(const support::Json& wire);
+
+  /// Sends raw bytes as one frame payload and returns the reply payload
+  /// (for driving the server with deliberately malformed JSON).
+  [[nodiscard]] std::string call_text(std::string_view payload);
+
+ private:
+  explicit Client(support::Socket socket) : socket_(std::move(socket)) {}
+
+  support::Socket socket_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace icsdiv::daemon

@@ -1,0 +1,43 @@
+#include "daemon/protocol.hpp"
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace icsdiv::daemon {
+
+std::string encode_frame(std::string_view payload, std::size_t max_frame_bytes) {
+  require(!payload.empty(), "encode_frame", "refusing to encode an empty frame");
+  if (payload.size() > max_frame_bytes) {
+    throw InvalidArgument("frame payload of " + std::to_string(payload.size()) +
+                          " bytes exceeds the " + std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kLengthPrefixBytes + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < kLengthPrefixBytes) return std::nullopt;
+  const auto byte = [this](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length = (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length == 0) throw ParseError("zero-length frame");
+  if (length > max_frame_bytes_) {
+    throw ParseError("frame header announces " + std::to_string(length) +
+                     " bytes, above the " + std::to_string(max_frame_bytes_) + "-byte limit");
+  }
+  if (buffer_.size() < kLengthPrefixBytes + length) return std::nullopt;
+  std::string payload = buffer_.substr(kLengthPrefixBytes, length);
+  buffer_.erase(0, kLengthPrefixBytes + length);
+  return payload;
+}
+
+}  // namespace icsdiv::daemon

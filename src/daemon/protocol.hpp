@@ -1,0 +1,56 @@
+// Length-prefixed framing for the icsdivd wire protocol (DESIGN.md §10).
+//
+// One frame = a 4-byte big-endian unsigned payload length followed by
+// that many bytes of UTF-8 JSON (the api::request/response envelopes).
+// The length prefix makes message boundaries explicit on a byte stream;
+// the decoder is incremental, so a reader can feed whatever chunk sizes
+// the socket yields and pull complete payloads as they materialise.
+//
+// Defensive limits: a zero-length frame and a frame longer than the
+// configured maximum are both protocol violations (ParseError) — the
+// latter keeps a hostile or confused peer from making the server buffer
+// gigabytes before JSON parsing even starts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace icsdiv::daemon {
+
+/// Frame payload ceiling (64 MiB): far above any sane grid or feed, far
+/// below what a length-corrupted stream could demand.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Bytes of big-endian length prefix per frame.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+/// Encodes one frame (prefix + payload).  Throws InvalidArgument when the
+/// payload is empty or exceeds `max_frame_bytes`.
+[[nodiscard]] std::string encode_frame(std::string_view payload,
+                                       std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Incremental frame reader: feed() raw bytes, next() yields complete
+/// payloads in order.  Throws ParseError from next() when a frame header
+/// announces a zero-length or over-limit payload.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// The next complete payload, or nullopt until more bytes arrive.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True when no partial frame is pending — EOF here is a clean close,
+  /// EOF mid-frame is a truncated stream.
+  [[nodiscard]] bool idle() const noexcept { return buffer_.empty(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace icsdiv::daemon

@@ -1,0 +1,35 @@
+#include "support/signals.hpp"
+
+#include <csignal>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+namespace {
+
+sigset_t make_set(std::initializer_list<int> signals) {
+  sigset_t set;
+  sigemptyset(&set);
+  for (const int signal : signals) sigaddset(&set, signal);
+  return set;
+}
+
+}  // namespace
+
+void block_signals(std::initializer_list<int> signals) {
+  const sigset_t set = make_set(signals);
+  ensure(pthread_sigmask(SIG_BLOCK, &set, nullptr) == 0, "block_signals",
+         "pthread_sigmask failed");
+}
+
+int wait_for_signal(std::initializer_list<int> signals) {
+  const sigset_t set = make_set(signals);
+  int received = 0;
+  ensure(sigwait(&set, &received) == 0, "wait_for_signal", "sigwait failed");
+  return received;
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace icsdiv::support

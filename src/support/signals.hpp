@@ -1,0 +1,24 @@
+// Signal plumbing for long-running processes (icsdivd).
+//
+// The daemon pattern: block the termination signals on the main thread
+// *before* spawning any workers (spawned threads inherit the mask, so no
+// thread takes the async signal), then sigwait() on the main thread and
+// run an orderly shutdown when one arrives.
+#pragma once
+
+#include <initializer_list>
+
+namespace icsdiv::support {
+
+/// Blocks `signals` for the calling thread and every thread it spawns
+/// afterwards.  Call on the main thread before starting workers.
+void block_signals(std::initializer_list<int> signals);
+
+/// Waits synchronously for one of the (blocked) `signals`; returns the
+/// signal number received.
+[[nodiscard]] int wait_for_signal(std::initializer_list<int> signals);
+
+/// Ignores SIGPIPE process-wide (socket writes report EPIPE instead).
+void ignore_sigpipe();
+
+}  // namespace icsdiv::support

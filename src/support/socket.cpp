@@ -1,0 +1,240 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    throw InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
+    throw InvalidArgument("bad IPv4 address: " + host);
+  }
+  return address;
+}
+
+int open_socket(Endpoint::Kind kind) {
+  const int fd = ::socket(kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  return fd;
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view text) {
+  Endpoint endpoint;
+  if (text.rfind("unix:", 0) == 0) {
+    endpoint.path = std::string(text.substr(5));
+  } else if (text.rfind("tcp:", 0) == 0) {
+    const std::string_view rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw InvalidArgument("expected tcp:HOST:PORT, got: " + std::string(text));
+    }
+    endpoint.kind = Kind::Tcp;
+    endpoint.host = std::string(rest.substr(0, colon));
+    const std::string digits(rest.substr(colon + 1));
+    if (digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw InvalidArgument("bad tcp port: " + digits);
+    }
+    const unsigned long port = std::stoul(digits);
+    if (port > 65535) throw InvalidArgument("bad tcp port: " + digits);
+    endpoint.port = static_cast<std::uint16_t>(port);
+  } else {
+    endpoint.path = std::string(text);
+  }
+  if (endpoint.kind == Kind::Unix && endpoint.path.empty()) {
+    throw InvalidArgument("empty unix socket path");
+  }
+  return endpoint;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::Wait Socket::wait_readable(int timeout_ms) const {
+  pollfd poller{fd_, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&poller, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return ready > 0 ? Wait::Ready : Wait::Timeout;
+  }
+}
+
+std::size_t Socket::read_some(char* data, std::size_t size) const {
+  while (true) {
+    const ssize_t count = ::recv(fd_, data, size, 0);
+    if (count >= 0) return static_cast<std::size_t>(count);
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void Socket::write_all(std::string_view data) const {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t count =
+        ::send(fd_, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (count < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    written += static_cast<std::size_t>(count);
+  }
+}
+
+void Socket::shutdown_read() const noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::connect(const Endpoint& endpoint) {
+  Socket socket(open_socket(endpoint.kind));
+  int result = 0;
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    const sockaddr_un address = unix_address(endpoint.path);
+    result = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  } else {
+    const sockaddr_in address = tcp_address(endpoint.host, endpoint.port);
+    result = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  }
+  if (result != 0) {
+    throw NotFound("cannot connect to " + endpoint.to_string() + ": " + std::strerror(errno));
+  }
+  return socket;
+}
+
+Listener::Listener(Listener&& other) noexcept : fd_(other.fd_), local_(std::move(other.local_)) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    local_ = std::move(other.local_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Listener Listener::listen(const Endpoint& endpoint, int backlog) {
+  Listener listener;
+  listener.local_ = endpoint;
+  const int fd = open_socket(endpoint.kind);
+  try {
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+      const sockaddr_un address = unix_address(endpoint.path);
+      const auto* raw = reinterpret_cast<const sockaddr*>(&address);
+      if (::bind(fd, raw, sizeof(address)) != 0) {
+        if (errno != EADDRINUSE) throw_errno("bind " + endpoint.to_string());
+        // A socket file may be a leftover from a crashed daemon.  Probe
+        // it: a live daemon accepts the connect and we refuse to usurp
+        // it; a refused connect means stale — unlink and bind once more.
+        try {
+          (void)Socket::connect(endpoint);
+          throw InvalidArgument("socket already in use: " + endpoint.to_string());
+        } catch (const NotFound&) {
+          ::unlink(endpoint.path.c_str());
+        }
+        if (::bind(fd, raw, sizeof(address)) != 0) {
+          throw_errno("bind " + endpoint.to_string());
+        }
+      }
+    } else {
+      const int reuse = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+      const sockaddr_in address = tcp_address(endpoint.host, endpoint.port);
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+        throw_errno("bind " + endpoint.to_string());
+      }
+      sockaddr_in actual{};
+      socklen_t length = sizeof(actual);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &length) == 0) {
+        listener.local_.port = ntohs(actual.sin_port);
+      }
+    }
+    if (::listen(fd, backlog) != 0) throw_errno("listen " + endpoint.to_string());
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  listener.fd_ = fd;
+  return listener;
+}
+
+Socket Listener::accept(int timeout_ms) const {
+  pollfd poller{fd_, POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&poller, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) return Socket();
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return Socket(fd);
+  }
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (local_.kind == Endpoint::Kind::Unix) ::unlink(local_.path.c_str());
+  }
+}
+
+}  // namespace icsdiv::support

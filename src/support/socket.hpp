@@ -1,0 +1,100 @@
+// Minimal POSIX stream-socket wrappers for the icsdivd transport.
+//
+// Two address families, one spelling: "unix:/path/to.sock" (or a bare
+// filesystem path) and "tcp:HOST:PORT".  TCP port 0 binds an ephemeral
+// port which Listener::local() reports after listen — tests use that to
+// avoid port races.  All reads/writes retry EINTR; writes suppress
+// SIGPIPE (MSG_NOSIGNAL) so a dropped peer surfaces as an error return,
+// never a signal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace icsdiv::support {
+
+/// A parsed listen/connect address.
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+
+  Kind kind = Kind::Unix;
+  std::string path;  ///< Unix: socket file path
+  std::string host;  ///< Tcp: dotted quad or "localhost"
+  std::uint16_t port = 0;
+
+  /// "unix:/path", "tcp:HOST:PORT", or a bare path (implied unix).
+  [[nodiscard]] static Endpoint parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One connected stream socket (RAII fd, move-only).
+class Socket {
+ public:
+  Socket() noexcept = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  enum class Wait { Ready, Timeout };
+
+  /// Polls for readability (closed peers count as readable).
+  [[nodiscard]] Wait wait_readable(int timeout_ms) const;
+
+  /// One read; returns bytes read, 0 on orderly EOF.  Throws on error.
+  [[nodiscard]] std::size_t read_some(char* data, std::size_t size) const;
+
+  /// Writes the whole buffer or throws.
+  void write_all(std::string_view data) const;
+
+  /// Half-close: the peer's next read returns EOF, our reads drain what
+  /// is in flight.  The server uses this to drain connections on shutdown.
+  void shutdown_read() const noexcept;
+
+  void close() noexcept;
+
+  /// Connects to an endpoint (throws NotFound when nothing listens).
+  [[nodiscard]] static Socket connect(const Endpoint& endpoint);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening socket (RAII; unlinks its unix path on close).
+class Listener {
+ public:
+  Listener() noexcept = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Binds and listens.  A stale unix socket file (bind says in-use but
+  /// nothing accepts) is unlinked and rebound once; a live one throws.
+  [[nodiscard]] static Listener listen(const Endpoint& endpoint, int backlog = 64);
+
+  /// Accepts one connection, or an invalid Socket after `timeout_ms`
+  /// (the accept loop polls in slices so shutdown is prompt).
+  [[nodiscard]] Socket accept(int timeout_ms) const;
+
+  /// The bound address, with TCP port 0 resolved to the real port.
+  [[nodiscard]] const Endpoint& local() const noexcept { return local_; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  Endpoint local_;
+};
+
+}  // namespace icsdiv::support

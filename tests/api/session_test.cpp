@@ -1,0 +1,287 @@
+// Session semantics: cross-request caching, in-flight coalescing of
+// identical requests, admission control, and the status counters that
+// make all of it observable.
+#include "api/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "runner/workload.hpp"
+#include "support/error.hpp"
+
+namespace icsdiv::api {
+namespace {
+
+/// A small synthetic deployment, serialised the way a client would send it.
+struct Documents {
+  support::Json catalog;
+  support::Json network;
+};
+
+Documents make_documents(std::size_t hosts = 16, std::uint64_t seed = 7) {
+  runner::WorkloadParams params;
+  params.hosts = hosts;
+  params.average_degree = 4;
+  params.services = 3;
+  params.products_per_service = 3;
+  params.seed = seed;
+  const runner::WorkloadInstance workload = runner::make_workload(params);
+  return {core::catalog_to_json(*workload.catalog), core::network_to_json(*workload.network)};
+}
+
+OptimizeRequest optimize_request(const Documents& documents, std::string solver = "icm") {
+  OptimizeRequest request;
+  request.catalog = documents.catalog;
+  request.network = documents.network;
+  request.solver = std::move(solver);
+  return request;
+}
+
+TEST(Session, ConcurrentIdenticalOptimizesExecuteOneSolve) {
+  const Documents documents = make_documents();
+  Session session;
+  const Request request = optimize_request(documents);
+
+  constexpr std::size_t kClients = 8;
+  std::vector<std::future<OptimizeResponse>> futures;
+  futures.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return std::get<OptimizeResponse>(session.execute(request));
+    }));
+  }
+  std::vector<OptimizeResponse> responses;
+  responses.reserve(kClients);
+  for (auto& future : futures) responses.push_back(future.get());
+
+  // Bit-identical assignments for every caller...
+  std::set<std::string> dumps;
+  std::size_t executions = 0;
+  for (const OptimizeResponse& response : responses) {
+    dumps.insert(response.assignment.dump());
+    executions += response.cached ? 0 : 1;
+  }
+  EXPECT_EQ(dumps.size(), 1u);
+  // ...from exactly one execution (the rest coalesced or hit warm).
+  EXPECT_EQ(executions, 1u);
+
+  const StatusResponse status = session.status();
+  EXPECT_EQ(status.solve_cache.planned, kClients);
+  EXPECT_EQ(status.solve_cache.executed, 1u);
+  EXPECT_EQ(status.solve_cache.hits, kClients - 1);
+  EXPECT_EQ(status.model_cache.executed, 1u);
+  EXPECT_EQ(status.requests_total, kClients);
+  EXPECT_EQ(status.requests_failed, 0u);
+  EXPECT_GT(status.solve_seconds_total, 0.0);
+}
+
+TEST(Session, WarmCacheServesRepeatsAndDistinguishesSolvers) {
+  const Documents documents = make_documents();
+  Session session;
+
+  const auto first = std::get<OptimizeResponse>(session.execute(optimize_request(documents)));
+  EXPECT_FALSE(first.cached);
+  const auto again = std::get<OptimizeResponse>(session.execute(optimize_request(documents)));
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.assignment.dump(), first.assignment.dump());
+  EXPECT_EQ(again.solve_seconds, first.solve_seconds);  // the solving run's duration
+
+  const auto trws =
+      std::get<OptimizeResponse>(session.execute(optimize_request(documents, "trws")));
+  EXPECT_FALSE(trws.cached);
+
+  const StatusResponse status = session.status();
+  EXPECT_EQ(status.solve_cache.executed, 2u);  // icm once, trws once
+  EXPECT_EQ(status.model_cache.executed, 1u);  // same documents throughout
+}
+
+TEST(Session, EvaluateIsCachedAndChecksHosts) {
+  const Documents documents = make_documents();
+  Session session;
+  const auto assignment =
+      std::get<OptimizeResponse>(session.execute(optimize_request(documents))).assignment;
+
+  EvaluateRequest evaluate;
+  evaluate.catalog = documents.catalog;
+  evaluate.network = documents.network;
+  evaluate.assignment = assignment;
+  const auto first = std::get<EvaluateResponse>(session.execute(evaluate));
+  EXPECT_FALSE(first.cached);
+  EXPECT_FALSE(first.pair_evaluated);
+  EXPECT_GT(first.edge_similarity, 0.0);
+  const auto second = std::get<EvaluateResponse>(session.execute(evaluate));
+  EXPECT_TRUE(second.cached);
+
+  evaluate.entry = "no-such-host";
+  evaluate.target = "h0";
+  EXPECT_THROW((void)session.execute(evaluate), NotFound);
+  EXPECT_EQ(session.status().requests_failed, 1u);
+}
+
+TEST(Session, MetricPairComesFromTheBayesNet) {
+  const Documents documents = make_documents(12);
+  Session session;
+  const auto assignment =
+      std::get<OptimizeResponse>(session.execute(optimize_request(documents))).assignment;
+
+  MetricRequest metric;
+  metric.catalog = documents.catalog;
+  metric.network = documents.network;
+  metric.assignment = assignment;
+  metric.entry = "h0";
+  metric.target = "h5";
+  const auto first = std::get<MetricResponse>(session.execute(metric));
+  EXPECT_GT(first.d_bn, 0.0);
+  EXPECT_LE(first.d_bn, 1.0 + 1e-9);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(std::get<MetricResponse>(session.execute(metric)).cached);
+}
+
+TEST(Session, IdenticalBatchRequestsCoalesce) {
+  Session session;
+  BatchRequest batch;
+  batch.grid = support::Json::parse(R"({
+    "name": "session-batch",
+    "hosts": [12], "degrees": [3], "services": [2], "products_per_service": [3],
+    "solvers": ["icm"], "constraints": ["none"], "seeds": [1, 2],
+    "max_iterations": 20, "tolerance": 1e-6
+  })");
+  batch.threads = 1;
+
+  constexpr std::size_t kClients = 4;
+  std::vector<std::future<BatchResponse>> futures;
+  futures.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return std::get<BatchResponse>(session.execute(batch));
+    }));
+  }
+  std::set<std::string> dumps;
+  std::size_t executions = 0;
+  for (auto& future : futures) {
+    const BatchResponse response = future.get();
+    EXPECT_EQ(response.cells, 2u);
+    EXPECT_EQ(response.failed, 0u);
+    dumps.insert(response.report.dump());
+    executions += response.cached ? 0 : 1;
+  }
+  EXPECT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(executions, 1u);
+
+  const StatusResponse status = session.status();
+  EXPECT_EQ(status.batch_cache.planned, kClients);
+  EXPECT_EQ(status.batch_cache.executed, 1u);
+  // The executed batch ran its cells once; coalesced callers added none.
+  EXPECT_EQ(status.batch_stages.solve.planned, 2u);
+  EXPECT_GT(status.batch_wall_seconds_total, 0.0);
+}
+
+TEST(Session, BatchValidatesGridBeforeRunning) {
+  Session session;
+  BatchRequest batch;
+  batch.grid = support::Json::parse(R"({
+    "name": "bad", "hosts": [8], "degrees": [3], "services": [2],
+    "products_per_service": [2], "solvers": ["warp-drive"],
+    "constraints": ["none"], "seeds": [1]
+  })");
+  EXPECT_THROW((void)session.execute(batch), InvalidArgument);
+}
+
+TEST(Session, SaturationRejectsWithRetryAfterAndKeepsStatusObservable) {
+  SessionOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 0;
+  options.retry_after_seconds = 2.5;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> blocking{false};
+  options.on_batch_result = [&](const runner::ScenarioResult&) {
+    blocking.store(true);
+    released.wait();
+  };
+  Session session(options);
+
+  BatchRequest batch;
+  batch.grid = support::Json::parse(R"({
+    "name": "blocker", "hosts": [8], "degrees": [3], "services": [2],
+    "products_per_service": [2], "solvers": ["icm"], "constraints": ["none"],
+    "seeds": [1], "max_iterations": 10, "tolerance": 1e-6
+  })");
+  batch.threads = 1;
+  auto blocked = std::async(std::launch::async, [&] { return session.execute(batch); });
+  while (!blocking.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // The single admission slot is held: the next request is rejected...
+  const Documents documents = make_documents(8);
+  try {
+    (void)session.execute(optimize_request(documents));
+    FAIL() << "expected SaturatedError";
+  } catch (const SaturatedError& error) {
+    EXPECT_DOUBLE_EQ(error.retry_after_seconds(), 2.5);
+  }
+  // ...while status (bypassing admission) still reports the load.
+  StatusResponse status = session.status();
+  EXPECT_EQ(status.in_flight, 1u);
+  EXPECT_EQ(status.requests_rejected, 1u);
+
+  release.set_value();
+  EXPECT_EQ(std::get<BatchResponse>(blocked.get()).failed, 0u);
+  EXPECT_FALSE(
+      std::get<OptimizeResponse>(session.execute(optimize_request(documents))).cached);
+  EXPECT_EQ(session.status().in_flight, 0u);
+}
+
+TEST(AdmissionGate, QueuesUpToLimitThenRejects) {
+  AdmissionGate gate(1, 1, 0.5);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> holding{false};
+  auto holder = std::async(std::launch::async, [&] {
+    const AdmissionGate::Ticket ticket = gate.admit();
+    holding.store(true);
+    released.wait();
+  });
+  while (!holding.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(gate.running(), 1u);
+
+  std::atomic<bool> queued_done{false};
+  auto queued = std::async(std::launch::async, [&] {
+    const AdmissionGate::Ticket ticket = gate.admit();  // waits in the queue
+    queued_done.store(true);
+  });
+  while (gate.queued() != 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  EXPECT_THROW((void)gate.admit(), SaturatedError);  // queue full
+  EXPECT_EQ(gate.rejected_total(), 1u);
+
+  release.set_value();
+  holder.get();
+  queued.get();
+  EXPECT_TRUE(queued_done.load());
+  EXPECT_EQ(gate.running(), 0u);
+  EXPECT_EQ(gate.queued(), 0u);
+}
+
+TEST(Session, FailedComputationsAreNotCached) {
+  Session session;
+  const Documents documents = make_documents(8);
+  EvaluateRequest evaluate;
+  evaluate.catalog = documents.catalog;
+  evaluate.network = documents.network;
+  evaluate.assignment = support::Json::parse(R"({"broken": true})");
+  EXPECT_THROW((void)session.execute(evaluate), Error);
+  // Same key again: recomputed (and fails again), not served from cache.
+  EXPECT_THROW((void)session.execute(evaluate), Error);
+  EXPECT_EQ(session.status().eval_cache.executed, 2u);
+}
+
+}  // namespace
+}  // namespace icsdiv::api

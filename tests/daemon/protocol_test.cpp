@@ -1,0 +1,98 @@
+// Framing round-trips and violation handling for the icsdivd protocol.
+#include "daemon/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace icsdiv::daemon {
+namespace {
+
+TEST(FrameCodec, RoundTripsOnePayload) {
+  const std::string payload = R"({"icsdivd":1,"request":"version"})";
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(payload));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(FrameCodec, PrefixIsBigEndianLength) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), kLengthPrefixBytes + 3);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(kLengthPrefixBytes), "abc");
+}
+
+TEST(FrameCodec, DecodesByteAtATime) {
+  const std::string payload(300, 'x');  // length needs the second prefix byte
+  const std::string frame = encode_frame(payload);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.feed({&frame[i], 1});
+    EXPECT_FALSE(decoder.next().has_value()) << "complete after byte " << i;
+  }
+  decoder.feed({&frame[frame.size() - 1], 1});
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, payload);
+}
+
+TEST(FrameCodec, DecodesMultipleFramesFromOneFeed) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame("first") + encode_frame("second") + encode_frame("third"));
+  EXPECT_EQ(decoder.next().value(), "first");
+  EXPECT_EQ(decoder.next().value(), "second");
+  EXPECT_EQ(decoder.next().value(), "third");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(FrameCodec, TruncatedFrameIsPendingNotComplete) {
+  const std::string frame = encode_frame("truncated mid-payload");
+  FrameDecoder decoder;
+  decoder.feed(frame.substr(0, frame.size() - 5));
+  EXPECT_FALSE(decoder.next().has_value());
+  // EOF here would be a protocol violation, and idle() is how a reader
+  // tells a clean close from a cut stream.
+  EXPECT_FALSE(decoder.idle());
+}
+
+TEST(FrameCodec, ZeroLengthFrameThrows) {
+  FrameDecoder decoder;
+  decoder.feed(std::string(kLengthPrefixBytes, '\0'));
+  EXPECT_THROW((void)decoder.next(), ParseError);
+}
+
+TEST(FrameCodec, OversizedHeaderThrows) {
+  FrameDecoder decoder(1024);
+  std::string header;
+  header.push_back('\x7f');  // announces ~2 GiB
+  header.append(3, '\xff');
+  decoder.feed(header);
+  EXPECT_THROW((void)decoder.next(), ParseError);
+}
+
+TEST(FrameCodec, OversizedHeaderThrowsBeforePayloadArrives) {
+  // The limit must trip on the *header*, not after buffering the bytes.
+  FrameDecoder decoder(8);
+  const std::string frame = encode_frame("longer than eight bytes", 1024);
+  decoder.feed(frame.substr(0, kLengthPrefixBytes));
+  EXPECT_THROW((void)decoder.next(), ParseError);
+}
+
+TEST(FrameCodec, EncodeRejectsEmptyAndOversized) {
+  EXPECT_THROW((void)encode_frame(""), InvalidArgument);
+  EXPECT_THROW((void)encode_frame(std::string(100, 'x'), 99), InvalidArgument);
+  EXPECT_NO_THROW((void)encode_frame(std::string(99, 'x'), 99));
+}
+
+}  // namespace
+}  // namespace icsdiv::daemon

@@ -1,0 +1,216 @@
+// End-to-end daemon tests: a Server over a real socket, driven by the
+// typed Client — transport parity with in-process api::execute, error
+// envelopes, graceful shutdown draining, and socket-file hygiene.
+#include "daemon/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "daemon/client.hpp"
+#include "runner/workload.hpp"
+#include "support/error.hpp"
+
+namespace icsdiv::daemon {
+namespace {
+
+std::string unique_socket_path(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("icsdivd_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock"))
+      .string();
+}
+
+ServerOptions unix_options(const std::string& socket_path) {
+  ServerOptions options;
+  options.endpoint = support::Endpoint::parse("unix:" + socket_path);
+  return options;
+}
+
+api::OptimizeRequest small_optimize_request() {
+  runner::WorkloadParams params;
+  params.hosts = 12;
+  params.average_degree = 4;
+  params.services = 3;
+  params.products_per_service = 3;
+  params.seed = 11;
+  const runner::WorkloadInstance workload = runner::make_workload(params);
+  api::OptimizeRequest request;
+  request.catalog = core::catalog_to_json(*workload.catalog);
+  request.network = core::network_to_json(*workload.network);
+  request.solver = "icm";
+  return request;
+}
+
+TEST(DaemonServer, ServesTheSameBytesAsInProcessExecution) {
+  const std::string socket_path = unique_socket_path("parity");
+  Server server(unix_options(socket_path));
+  server.start();
+  EXPECT_TRUE(std::filesystem::exists(socket_path));
+
+  const api::Request request = small_optimize_request();
+
+  Client client = Client::connect(server.endpoint());
+  const auto version = std::get<api::VersionResponse>(client.call(api::VersionRequest{}));
+  EXPECT_EQ(version.protocol, api::kProtocolVersion);
+
+  const auto remote = std::get<api::OptimizeResponse>(client.call(request));
+  // The daemon solved it; a direct call against the same session now
+  // coalesces onto the warm artifact — bit-identical by construction.
+  const auto local = std::get<api::OptimizeResponse>(server.session().execute(request));
+  EXPECT_FALSE(remote.cached);
+  EXPECT_TRUE(local.cached);
+  EXPECT_EQ(remote.assignment.dump(), local.assignment.dump());
+
+  server.shutdown();
+  EXPECT_FALSE(std::filesystem::exists(socket_path)) << "socket file leaked";
+}
+
+TEST(DaemonServer, ConcurrentClientsCoalesceOntoOneSolve) {
+  const std::string socket_path = unique_socket_path("coalesce");
+  Server server(unix_options(socket_path));
+  server.start();
+
+  const api::Request request = small_optimize_request();
+  constexpr std::size_t kClients = 4;
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      Client client = Client::connect(server.endpoint());
+      return std::get<api::OptimizeResponse>(client.call(request)).assignment.dump();
+    }));
+  }
+  std::set<std::string> dumps;
+  for (auto& future : futures) dumps.insert(future.get());
+  EXPECT_EQ(dumps.size(), 1u);
+
+  const api::StatusResponse status = server.session().status();
+  EXPECT_EQ(status.solve_cache.planned, kClients);
+  EXPECT_EQ(status.solve_cache.executed, 1u);
+  EXPECT_EQ(status.solve_cache.hits, kClients - 1);
+  server.shutdown();
+}
+
+TEST(DaemonServer, MalformedPayloadGetsErrorEnvelopeAndConnectionSurvives) {
+  const std::string socket_path = unique_socket_path("malformed");
+  Server server(unix_options(socket_path));
+  server.start();
+
+  Client client = Client::connect(server.endpoint());
+  const support::Json reply = support::Json::parse(client.call_text("{this is not json"));
+  EXPECT_EQ(reply.as_object().at("status").as_string(), "parse_error");
+  EXPECT_NE(reply.as_object().find("error"), nullptr);
+
+  // A malformed payload inside a good frame is recoverable.
+  const auto version = std::get<api::VersionResponse>(client.call(api::VersionRequest{}));
+  EXPECT_EQ(version.protocol, api::kProtocolVersion);
+
+  // call_raw hands back the envelope verbatim; call() rethrows typed.
+  const support::Json unknown =
+      client.call_raw(support::Json::parse(R"({"request":"frobnicate"})"));
+  EXPECT_EQ(unknown.as_object().at("status").as_string(), "invalid_argument");
+  try {
+    (void)client.call(api::request_from_wire(
+        support::Json::parse(R"({"request":"similarity","feed":{},"cpes":["a","b"]})")));
+    FAIL() << "expected a parse failure from the empty feed";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()), "");
+  }
+  server.shutdown();
+}
+
+TEST(DaemonServer, TcpEphemeralPortRoundTrip) {
+  ServerOptions options;
+  options.endpoint = support::Endpoint::parse("tcp:127.0.0.1:0");
+  Server server(options);
+  server.start();
+  EXPECT_NE(server.endpoint().port, 0) << "port 0 should resolve on bind";
+
+  Client client = Client::connect(server.endpoint());
+  const auto version = std::get<api::VersionResponse>(client.call(api::VersionRequest{}));
+  EXPECT_EQ(version.server, std::string(api::kServerName));
+  server.shutdown();
+}
+
+TEST(DaemonServer, ShutdownDrainsInFlightRequests) {
+  const std::string socket_path = unique_socket_path("drain");
+  ServerOptions options = unix_options(socket_path);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> blocking{false};
+  options.session.on_batch_result = [&](const runner::ScenarioResult&) {
+    blocking.store(true);
+    released.wait();
+  };
+  Server server(std::move(options));
+  server.start();
+
+  auto in_flight = std::async(std::launch::async, [&] {
+    Client client = Client::connect(support::Endpoint::parse("unix:" + socket_path));
+    api::BatchRequest batch;
+    batch.grid = support::Json::parse(R"({
+      "name": "drain", "hosts": [8], "degrees": [3], "services": [2],
+      "products_per_service": [2], "solvers": ["icm"], "constraints": ["none"],
+      "seeds": [1], "max_iterations": 10, "tolerance": 1e-6
+    })");
+    batch.threads = 1;
+    return std::get<api::BatchResponse>(client.call(batch));
+  });
+  while (!blocking.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Shutdown must wait for the in-flight batch and deliver its response.
+  auto shutdown = std::async(std::launch::async, [&] { server.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.set_value();
+  shutdown.get();
+
+  const api::BatchResponse response = in_flight.get();
+  EXPECT_EQ(response.cells, 1u);
+  EXPECT_EQ(response.failed, 0u);
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(DaemonServer, StaleSocketFileIsReclaimed) {
+  const std::string socket_path = unique_socket_path("stale");
+  {
+    // Crash simulation: a listener closed without unlink leaves the file…
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::snprintf(address.sun_path, sizeof(address.sun_path), "%s", socket_path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+    ::close(fd);
+  }
+  ASSERT_TRUE(std::filesystem::exists(socket_path));
+
+  Server server(unix_options(socket_path));
+  server.start();  // …which a fresh daemon probes, unlinks, and rebinds
+  Client client = Client::connect(server.endpoint());
+  EXPECT_EQ(std::get<api::VersionResponse>(client.call(api::VersionRequest{})).protocol,
+            api::kProtocolVersion);
+  server.shutdown();
+
+  // A *live* socket is not usurped.
+  Server first(unix_options(socket_path));
+  first.start();
+  Server second(unix_options(socket_path));
+  EXPECT_THROW(second.start(), InvalidArgument);
+  first.shutdown();
+}
+
+}  // namespace
+}  // namespace icsdiv::daemon

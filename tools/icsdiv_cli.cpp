@@ -1,7 +1,12 @@
-// icsdiv command-line front end.
+// icsdiv command-line front end — a thin argv→api::Request adapter.
 //
-// Lets an operator run the paper's workflow on JSON artefacts without
-// writing C++ (see examples/nvd_pipeline for producing them):
+// Every subcommand builds a typed request and runs it through the same
+// `api::execute` entry point the icsdivd daemon serves, so CLI and
+// daemon behaviour cannot drift.  The CLI's own job is file I/O and
+// rendering: it reads the JSON artefacts named on the command line into
+// the request, and renders the typed response as tables/text (default)
+// or as the wire envelope (`--format json` — the same bytes a daemon
+// client would receive, machine-readable errors included).
 //
 //   icsdiv_cli optimize  --catalog c.json --network n.json [--out a.json]
 //                        [--solver NAME]   (any mrf::SolverRegistry name)
@@ -11,25 +16,21 @@
 //   icsdiv_cli similarity --feed feed.json --cpe QUERY --cpe QUERY [...]
 //   icsdiv_cli batch     --grid grid.json [--csv FILE] [--json FILE]
 //                        [--threads N]
+//   icsdiv_cli version
 //
-// Exit codes: 0 success, 1 usage error, 2 runtime failure.
-#include <algorithm>
-#include <filesystem>
+// Exit codes follow the stable api::StatusCode mapping (status.hpp):
+// 0 ok, 2 invalid argument, 3 parse error, 4 not found, 5 infeasible,
+// 6 logic error, 8 partial batch failure, 9 internal.
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
-#include "bayes/least_effort.hpp"
-#include "bayes/metric.hpp"
-#include "core/metrics.hpp"
-#include "core/optimizer.hpp"
-#include "core/report.hpp"
-#include "core/serialization.hpp"
+#include "api/requests.hpp"
+#include "api/session.hpp"
+#include "api/status.hpp"
 #include "mrf/registry.hpp"
-#include "nvd/similarity.hpp"
-#include "runner/batch_runner.hpp"
-#include "sim/worm_sim.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -41,6 +42,8 @@ struct Arguments {
   std::map<std::string, std::string> options;
   std::vector<std::string> repeated_cpes;
 };
+
+enum class OutputFormat { Text, Json };
 
 Arguments parse_arguments(int argc, char** argv) {
   Arguments args;
@@ -60,80 +63,151 @@ Arguments parse_arguments(int argc, char** argv) {
   return args;
 }
 
+OutputFormat parse_format(const Arguments& args) {
+  const auto it = args.options.find("format");
+  if (it == args.options.end() || it->second == "text") return OutputFormat::Text;
+  if (it->second == "json") return OutputFormat::Json;
+  throw InvalidArgument("bad --format value (text|json): " + it->second);
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw NotFound("cannot open file: " + path);
   return std::string(std::istreambuf_iterator<char>(file), {});
 }
 
-const std::string& required(const Arguments& args, const std::string& name) {
+support::Json read_json(const Arguments& args, const std::string& name) {
   const auto it = args.options.find(name);
   if (it == args.options.end()) throw InvalidArgument("missing required --" + name);
-  return it->second;
+  return support::Json::parse(read_file(it->second));
 }
 
-int run_optimize(const Arguments& args) {
-  const core::ProductCatalog catalog =
-      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
-  const core::Network network =
-      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
+std::string option_or(const Arguments& args, const std::string& name, std::string fallback = {}) {
+  const auto it = args.options.find(name);
+  return it != args.options.end() ? it->second : std::move(fallback);
+}
 
-  core::OptimizeOptions options;
-  if (const auto it = args.options.find("solver"); it != args.options.end()) {
-    options.solver = it->second;  // validated by the registry inside optimize
+std::size_t parse_threads(const std::string& value) {
+  // Digits only: stoull alone would accept (and wrap) "-1".
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidArgument("bad --threads value: " + value);
   }
-  const core::Optimizer optimizer(network);
-  const auto outcome = optimizer.optimize({}, options);
+  try {
+    return std::stoull(value);
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument("bad --threads value: " + value);
+  }
+}
 
-  std::cerr << "energy " << outcome.solve.energy << ", pairwise similarity "
-            << outcome.pairwise_similarity << ", " << outcome.solve.iterations
-            << " iterations\n";
-  const support::Json json = outcome.assignment.to_json();
-  if (const auto it = args.options.find("out"); it != args.options.end()) {
-    std::ofstream file(it->second);
-    file << json.dump_pretty();
-    std::cerr << "wrote " << it->second << "\n";
-  } else {
-    std::cout << json.dump_pretty();
+// ---------------------------------------------------------------------------
+// argv → Request.
+
+api::Request build_request(const Arguments& args) {
+  if (args.command == "optimize") {
+    api::OptimizeRequest request;
+    request.catalog = read_json(args, "catalog");
+    request.network = read_json(args, "network");
+    request.solver = option_or(args, "solver");
+    return request;
+  }
+  if (args.command == "evaluate") {
+    api::EvaluateRequest request;
+    request.catalog = read_json(args, "catalog");
+    request.network = read_json(args, "network");
+    request.assignment = read_json(args, "assignment");
+    request.entry = option_or(args, "entry");
+    request.target = option_or(args, "target");
+    if (request.entry.empty() != request.target.empty()) {
+      throw InvalidArgument("evaluate needs both --entry and --target, or neither");
+    }
+    return request;
+  }
+  if (args.command == "report") {
+    api::ReportRequest request;
+    request.catalog = read_json(args, "catalog");
+    request.network = read_json(args, "network");
+    request.assignment = read_json(args, "assignment");
+    return request;
+  }
+  if (args.command == "similarity") {
+    if (args.repeated_cpes.size() < 2) {
+      throw InvalidArgument("similarity needs at least two --cpe queries");
+    }
+    api::SimilarityRequest request;
+    request.feed = read_json(args, "feed");
+    request.cpes = args.repeated_cpes;
+    return request;
+  }
+  if (args.command == "batch") {
+    api::BatchRequest request;
+    request.grid = read_json(args, "grid");
+    if (const auto it = args.options.find("threads"); it != args.options.end()) {
+      request.threads = parse_threads(it->second);
+    }
+    return request;
+  }
+  if (args.command == "version") return api::VersionRequest{};
+  throw InvalidArgument("unknown command: " + args.command);
+}
+
+// ---------------------------------------------------------------------------
+// Output files honoured in both formats (the CLI's side of the adapter).
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) throw NotFound("cannot write file: " + path);
+  file << content;
+  std::cerr << "wrote " << path << "\n";
+}
+
+void write_output_files(const Arguments& args, const api::Response& response) {
+  if (const auto* optimize = std::get_if<api::OptimizeResponse>(&response)) {
+    if (const auto it = args.options.find("out"); it != args.options.end()) {
+      write_text_file(it->second, optimize->assignment.dump_pretty());
+    }
+  }
+  if (const auto* batch = std::get_if<api::BatchResponse>(&response)) {
+    if (const auto it = args.options.find("csv"); it != args.options.end()) {
+      write_text_file(it->second, batch->csv);
+    }
+    if (const auto it = args.options.find("json"); it != args.options.end()) {
+      write_text_file(it->second, batch->report.dump_pretty() + "\n");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Text renderers, one per response type.
+
+int render_optimize(const Arguments& args, const api::OptimizeResponse& response) {
+  std::cerr << "energy " << response.energy << ", pairwise similarity "
+            << response.pairwise_similarity << ", " << response.iterations << " iterations\n";
+  if (args.options.find("out") == args.options.end()) {
+    std::cout << response.assignment.dump_pretty();
   }
   return 0;
 }
 
-int run_evaluate(const Arguments& args) {
-  const core::ProductCatalog catalog =
-      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
-  const core::Network network =
-      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
-  const core::Assignment assignment = core::Assignment::from_json(
-      network, support::Json::parse(read_file(required(args, "assignment"))));
-
+int render_evaluate(const api::EvaluateResponse& response) {
   support::TextTable table({"metric", "value"});
-  table.add_row({"edge similarity (Eq.3)",
-                 support::TextTable::num(core::total_edge_similarity(assignment), 3)});
-  table.add_row({"avg per link-service",
-                 support::TextTable::num(core::average_edge_similarity(assignment), 3)});
+  table.add_row({"edge similarity (Eq.3)", support::TextTable::num(response.edge_similarity, 3)});
+  table.add_row({"avg per link-service", support::TextTable::num(response.average_similarity, 3)});
   table.add_row({"normalised effective richness",
-                 support::TextTable::num(core::normalized_effective_richness(assignment), 3)});
-
-  const auto entry_it = args.options.find("entry");
-  const auto target_it = args.options.find("target");
-  if (entry_it != args.options.end() && target_it != args.options.end()) {
-    const core::HostId entry = network.host_id(entry_it->second);
-    const core::HostId target = network.host_id(target_it->second);
-    const auto metric = bayes::bn_diversity_metric(assignment, entry, target);
-    table.add_row({"d_bn (Def. 6)", support::TextTable::num(metric.d_bn, 5)});
-    table.add_row({"log10 P(target)", support::TextTable::num(metric.log10_with(), 3)});
-    const auto effort = bayes::least_attack_effort(assignment, entry, target);
+                 support::TextTable::num(response.normalized_richness, 3)});
+  if (response.pair_evaluated) {
+    table.add_row({"d_bn (Def. 6)", support::TextTable::num(response.d_bn, 5)});
+    table.add_row({"log10 P(target)", support::TextTable::num(response.log10_p_with, 3)});
     table.add_row({"least attack effort (exploits)",
-                   effort.exploit_count ? std::to_string(*effort.exploit_count) : "unreachable"});
-    const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
-    const auto mttc = simulator.mttc(entry, target, 500, 1);
-    table.add_row({"MTTC (ticks, 500 runs)", support::TextTable::num(mttc.mean, 1)});
-    if (mttc.censored > 0) {
-      table.add_row({"MTTC censored runs",
-                     std::to_string(mttc.censored) + "/" + std::to_string(mttc.runs)});
-      if (mttc.censored < mttc.runs) {
-        table.add_row({"MTTC uncensored mean", support::TextTable::num(mttc.uncensored_mean, 1)});
+                   response.exploit_count ? std::to_string(*response.exploit_count)
+                                          : "unreachable"});
+    table.add_row({"MTTC (ticks, " + std::to_string(response.mttc_runs) + " runs)",
+                   support::TextTable::num(response.mttc_mean, 1)});
+    if (response.mttc_censored > 0) {
+      table.add_row({"MTTC censored runs", std::to_string(response.mttc_censored) + "/" +
+                                               std::to_string(response.mttc_runs)});
+      if (response.mttc_censored < response.mttc_runs) {
+        table.add_row(
+            {"MTTC uncensored mean", support::TextTable::num(response.mttc_uncensored_mean, 1)});
       }
     }
   }
@@ -141,151 +215,163 @@ int run_evaluate(const Arguments& args) {
   return 0;
 }
 
-int run_report(const Arguments& args) {
-  const core::ProductCatalog catalog =
-      core::catalog_from_json(support::Json::parse(read_file(required(args, "catalog"))));
-  const core::Network network =
-      core::network_from_json(catalog, support::Json::parse(read_file(required(args, "network"))));
-  const core::Assignment assignment = core::Assignment::from_json(
-      network, support::Json::parse(read_file(required(args, "assignment"))));
-  core::ReportOptions options;
-  options.include_full_listing = true;
-  std::cout << core::diversification_report(assignment, {}, options);
-  return 0;
-}
-
-int run_similarity(const Arguments& args) {
-  if (args.repeated_cpes.size() < 2) {
-    throw InvalidArgument("similarity needs at least two --cpe queries");
-  }
-  const nvd::VulnerabilityDatabase feed =
-      nvd::VulnerabilityDatabase::from_json_text(read_file(required(args, "feed")));
-  std::vector<nvd::ProductRef> products;
-  for (const std::string& cpe : args.repeated_cpes) {
-    products.push_back(nvd::ProductRef{cpe, nvd::CpeUri::parse(cpe)});
-  }
-  const nvd::SimilarityTable table = nvd::SimilarityTable::from_database(feed, products);
+int render_similarity(const api::SimilarityResponse& response) {
   support::TextTable out({"a", "b", "similarity", "shared", "|Va|", "|Vb|"});
-  for (std::size_t i = 0; i < products.size(); ++i) {
-    for (std::size_t j = i + 1; j < products.size(); ++j) {
-      out.add_row({products[i].name, products[j].name,
-                   support::TextTable::num(table.similarity(i, j), 4),
-                   std::to_string(table.shared_count(i, j)),
-                   std::to_string(table.total_count(i)),
-                   std::to_string(table.total_count(j))});
-    }
+  for (const api::SimilarityResponse::Pair& pair : response.pairs) {
+    out.add_row({pair.a, pair.b, support::TextTable::num(pair.similarity, 4),
+                 std::to_string(pair.shared), std::to_string(pair.count_a),
+                 std::to_string(pair.count_b)});
   }
   out.print(std::cout);
   return 0;
 }
 
-int run_batch(const Arguments& args) {
-  const runner::ScenarioGrid grid =
-      runner::ScenarioGrid::from_json(support::Json::parse(read_file(required(args, "grid"))));
-  const std::vector<runner::ScenarioSpec> specs = grid.expand();
-  require(!specs.empty(), "batch", "grid expands to zero scenarios");
-  // Fail on typos before any (potentially huge) workload gets built.
-  for (const std::string& solver : grid.solvers) {
-    if (!mrf::SolverRegistry::instance().contains(solver)) {
-      throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
-                            mrf::SolverRegistry::instance().names_joined(", ") + ")");
-    }
-  }
-  const auto recipes = runner::constraint_recipe_names();
-  for (const std::string& recipe : grid.constraints) {
-    if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
-      throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
-    }
-  }
+int render_batch(const api::BatchResponse& response) {
+  const support::JsonObject& report = response.report.as_object();
+  std::cerr << "\n" << response.cells - response.failed << "/" << response.cells
+            << " scenarios succeeded on " << report.at("threads").as_integer() << " threads in "
+            << report.at("wall_seconds").as_double() << " s\n";
 
-  runner::BatchOptions options;
-  if (const auto it = args.options.find("threads"); it != args.options.end()) {
-    const std::string& value = it->second;
-    // Digits only: stoull alone would accept (and wrap) "-1".
-    if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
-      throw InvalidArgument("bad --threads value: " + value);
-    }
-    try {
-      options.threads = std::stoull(value);
-    } catch (const std::out_of_range&) {
-      throw InvalidArgument("bad --threads value: " + value);
-    }
-  }
-  options.on_result = [](const runner::ScenarioResult&) { std::cerr << "." << std::flush; };
-
-  std::cerr << "running " << specs.size() << " scenarios (grid \"" << grid.name << "\")\n";
-  const runner::BatchRunner batch(options);
-  const runner::BatchReport report = batch.run(specs);
-  std::cerr << "\n" << specs.size() - report.failed_count() << "/" << specs.size()
-            << " scenarios succeeded on " << report.threads << " threads in "
-            << report.wall_seconds << " s\n";
   // Stage reuse: executed/planned per pipeline stage (hits are references
   // served by an already-planned execution, see BatchReport::stage_stats).
-  const auto ratio = [](const runner::StageCounters& stage) {
-    return std::to_string(stage.executed) + "/" + std::to_string(stage.planned);
+  const support::JsonObject& stats = report.at("stage_stats").as_object();
+  const auto planned = [&stats](std::string_view stage) {
+    return stats.at(stage).as_object().at("planned").as_integer();
   };
-  const runner::StageStats& stats = report.stage_stats;
-  std::cerr << "stage reuse (executed/planned): workloads " << ratio(stats.workload)
-            << ", problems " << ratio(stats.problem) << ", solves " << ratio(stats.solve);
-  if (grid.attack) {
-    std::cerr << ", channel pools " << ratio(stats.channels) << ", attack evals "
-              << ratio(stats.attack);
+  const auto ratio = [&stats](std::string_view stage) {
+    const support::JsonObject& counters = stats.at(stage).as_object();
+    return std::to_string(counters.at("executed").as_integer()) + "/" +
+           std::to_string(counters.at("planned").as_integer());
+  };
+  const bool attacked = planned("attack") > 0;
+  const bool metered = planned("metric") > 0;
+  std::cerr << "stage reuse (executed/planned): workloads " << ratio("workload") << ", problems "
+            << ratio("problem") << ", solves " << ratio("solve");
+  if (attacked) {
+    std::cerr << ", channel pools " << ratio("channels") << ", attack evals " << ratio("attack");
   }
-  if (grid.metrics) std::cerr << ", metric evals " << ratio(stats.metric);
+  if (metered) std::cerr << ", metric evals " << ratio("metric");
   std::cerr << "\n";
 
-  const bool attacked = grid.attack.has_value();
-  const bool metered = grid.metrics.has_value();
   std::vector<std::string> columns{"scenario", "solver", "constraints", "energy",
                                    "avg sim",  "richness", "solve s"};
   if (attacked) columns.insert(columns.end(), {"mttc", "mttc unc.", "censored"});
   if (metered) columns.insert(columns.end(), {"d_bn", "d_bn min", "pairs"});
   columns.push_back("status");
   support::TextTable table(columns);
-  for (const runner::ScenarioResult& r : report.results) {
-    std::vector<std::string> row{
-        r.name, r.solver, r.constraints,
-        r.error.empty() ? support::TextTable::num(r.energy, 3) : "-",
-        r.error.empty() ? support::TextTable::num(r.average_similarity, 4) : "-",
-        r.error.empty() ? support::TextTable::num(r.normalized_richness, 3) : "-",
-        r.error.empty() ? support::TextTable::num(r.solve_seconds, 3) : "-"};
+
+  const auto num_or_dash = [](const support::JsonObject& object, std::string_view key,
+                              int precision) {
+    const support::Json* value = object.find(key);
+    if (value == nullptr || value->is_null()) return std::string("-");
+    return support::TextTable::num(value->as_double(), precision);
+  };
+  for (const support::Json& cell_json : report.at("results").as_array()) {
+    const support::JsonObject& cell = cell_json.as_object();
+    const support::Json* error = cell.find("error");
+    const bool ok = error == nullptr;
+    std::vector<std::string> row{cell.at("name").as_string(), cell.at("solver").as_string(),
+                                 cell.at("constraints").as_string(),
+                                 ok ? num_or_dash(cell, "energy", 3) : "-",
+                                 ok ? num_or_dash(cell, "avg_similarity", 4) : "-",
+                                 ok ? num_or_dash(cell, "richness", 3) : "-",
+                                 ok ? num_or_dash(cell, "solve_seconds", 3) : "-"};
     if (attacked) {
-      const bool ok = r.error.empty() && r.attacked;
-      row.push_back(ok ? support::TextTable::num(r.mttc_mean, 1) : "-");
-      row.push_back(ok && r.mttc_censored < r.mttc_runs
-                        ? support::TextTable::num(r.mttc_uncensored_mean, 1)
-                        : "-");
-      row.push_back(ok ? std::to_string(r.mttc_censored) + "/" + std::to_string(r.mttc_runs)
-                       : "-");
+      const support::Json* attack = ok ? cell.find("attack") : nullptr;
+      if (attack != nullptr) {
+        const support::JsonObject& block = attack->as_object();
+        const auto runs = static_cast<std::size_t>(block.at("runs").as_integer());
+        const auto censored = static_cast<std::size_t>(block.at("censored").as_integer());
+        row.push_back(num_or_dash(block, "mttc_mean", 1));
+        row.push_back(censored < runs ? num_or_dash(block, "mttc_uncensored_mean", 1) : "-");
+        row.push_back(std::to_string(censored) + "/" + std::to_string(runs));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
     }
     if (metered) {
-      const bool ok = r.error.empty() && r.metrics_evaluated;
-      row.push_back(ok ? support::TextTable::num(r.d_bn_mean, 4) : "-");
-      row.push_back(ok ? support::TextTable::num(r.d_bn_min, 4) : "-");
-      row.push_back(ok ? std::to_string(r.metric_pairs) : "-");
+      const support::Json* metrics = ok ? cell.find("metrics") : nullptr;
+      if (metrics != nullptr) {
+        const support::JsonObject& block = metrics->as_object();
+        row.push_back(num_or_dash(block, "d_bn_mean", 4));
+        row.push_back(num_or_dash(block, "d_bn_min", 4));
+        row.push_back(std::to_string(block.at("pairs").as_integer()));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
     }
-    row.push_back(r.error.empty() ? "ok" : r.error);
+    row.push_back(ok ? "ok" : error->as_string());
     table.add_row(row);
   }
   table.print(std::cout);
+  return response.failed == 0 ? 0 : api::exit_code(api::StatusCode::PartialFailure);
+}
 
-  if (const auto it = args.options.find("csv"); it != args.options.end()) {
-    std::ofstream file(it->second);
-    if (!file) throw NotFound("cannot write file: " + it->second);
-    report.write_csv(file);
-    std::cerr << "wrote " << it->second << "\n";
+int render_version(const api::VersionResponse& response) {
+  const auto join = [](const std::vector<std::string>& values) {
+    std::string joined;
+    for (const std::string& value : values) {
+      if (!joined.empty()) joined += "|";
+      joined += value;
+    }
+    return joined;
+  };
+  std::cout << response.server << " (protocol " << response.protocol << ")\n"
+            << "requests:           " << join(response.requests) << "\n"
+            << "solvers:            " << join(response.solvers) << "\n"
+            << "constraint recipes: " << join(response.constraint_recipes) << "\n";
+  return 0;
+}
+
+int render_text(const Arguments& args, const api::Response& response) {
+  if (const auto* typed = std::get_if<api::OptimizeResponse>(&response)) {
+    return render_optimize(args, *typed);
   }
-  if (const auto it = args.options.find("json"); it != args.options.end()) {
-    std::ofstream file(it->second);
-    if (!file) throw NotFound("cannot write file: " + it->second);
-    file << report.to_json().dump_pretty() << "\n";
-    std::cerr << "wrote " << it->second << "\n";
+  if (const auto* typed = std::get_if<api::EvaluateResponse>(&response)) {
+    return render_evaluate(*typed);
   }
-  return report.failed_count() == 0 ? 0 : 2;
+  if (const auto* typed = std::get_if<api::ReportResponse>(&response)) {
+    std::cout << typed->text;
+    return 0;
+  }
+  if (const auto* typed = std::get_if<api::SimilarityResponse>(&response)) {
+    return render_similarity(*typed);
+  }
+  if (const auto* typed = std::get_if<api::BatchResponse>(&response)) {
+    return render_batch(*typed);
+  }
+  if (const auto* typed = std::get_if<api::VersionResponse>(&response)) {
+    return render_version(*typed);
+  }
+  ensure(false, "render_text", "unreachable response type");
+  return 0;
+}
+
+int dispatch(const Arguments& args, OutputFormat format) {
+  const api::Request request = build_request(args);
+
+  api::SessionOptions options;
+  if (format == OutputFormat::Text && args.command == "batch") {
+    options.on_batch_result = [](const runner::ScenarioResult&) { std::cerr << "." << std::flush; };
+    const support::Json& grid = std::get<api::BatchRequest>(request).grid;
+    const support::Json* name = grid.is_object() ? grid.as_object().find("name") : nullptr;
+    std::cerr << "running grid \"" << (name != nullptr ? name->as_string() : "batch") << "\"\n";
+  }
+  api::Session session(options);
+  const api::Response response = api::execute(request, session);
+  write_output_files(args, response);
+  if (format == OutputFormat::Json) {
+    std::cout << api::response_to_wire(response).dump_pretty() << "\n";
+    if (const auto* batch = std::get_if<api::BatchResponse>(&response)) {
+      return batch->failed == 0 ? 0 : api::exit_code(api::StatusCode::PartialFailure);
+    }
+    return 0;
+  }
+  return render_text(args, response);
 }
 
 void print_usage() {
-  std::cerr << "usage: icsdiv_cli <command> [flags]\n\ncommands:\n"
+  std::cerr << "usage: icsdiv_cli <command> [flags] [--format text|json]\n\ncommands:\n"
             << "  optimize    --catalog FILE --network FILE [--out FILE] [--solver "
             << mrf::SolverRegistry::instance().names_joined() << "]\n"
             << R"(  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
@@ -295,29 +381,32 @@ void print_usage() {
               (a grid may carry an "attack" block — MTTC axes — and a
                "metrics" block — d_bn entry/target sweeps; reports then
                add mttc_* and d_bn_*/p_with/p_without columns)
+  version     (protocol handshake, registered solvers and recipes)
+
+--format json prints the icsdivd wire envelope (machine-readable,
+errors included) instead of tables.
 )";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  OutputFormat format = OutputFormat::Text;
   try {
     const Arguments args = parse_arguments(argc, argv);
-    if (args.command == "optimize") return run_optimize(args);
-    if (args.command == "evaluate") return run_evaluate(args);
-    if (args.command == "report") return run_report(args);
-    if (args.command == "similarity") return run_similarity(args);
-    if (args.command == "batch") return run_batch(args);
-    throw InvalidArgument("unknown command: " + args.command);
-  } catch (const InvalidArgument& error) {
-    std::cerr << "error: " << error.what() << "\n\n";
-    print_usage();
-    return 1;
-  } catch (const Error& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 2;
+    format = parse_format(args);
+    return dispatch(args, format);
   } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 2;
+    const api::ErrorBody body = api::make_error_body(error);
+    if (format == OutputFormat::Json) {
+      std::cout << api::error_to_wire(body).dump_pretty() << "\n";
+    } else {
+      std::cerr << "error: " << body.message << "\n";
+      if (body.code == api::StatusCode::InvalidArgument) {
+        std::cerr << "\n";
+        print_usage();
+      }
+    }
+    return api::exit_code(body.code);
   }
 }

@@ -38,6 +38,24 @@ std::string optional_string(const support::JsonObject& object, std::string_view 
   return value != nullptr ? value->as_string() : std::string();
 }
 
+// Deadline field, shared by every compute request.  Omitted on the wire
+// when 0 (no deadline) so pre-deadline clients and byte-parity pins are
+// unaffected.
+
+void timeout_to_wire(std::int64_t timeout_ms, support::JsonObject& object) {
+  if (timeout_ms != 0) object.set("timeout_ms", timeout_ms);
+}
+
+std::int64_t timeout_from_wire(const support::JsonObject& object, std::string_view context) {
+  const support::Json* value = object.find("timeout_ms");
+  if (value == nullptr) return 0;
+  const std::int64_t timeout_ms = value->as_integer();
+  if (timeout_ms < 0) {
+    throw InvalidArgument(std::string(context) + " timeout_ms must be non-negative");
+  }
+  return timeout_ms;
+}
+
 /// Non-finite doubles have no JSON literal; they round-trip as null (the
 /// report convention, DESIGN.md §9).
 support::Json json_number(double value) {
@@ -96,14 +114,27 @@ void fields_to_wire(const OptimizeRequest& request, support::JsonObject& object)
   object.set("catalog", request.catalog);
   object.set("network", request.network);
   if (!request.solver.empty()) object.set("solver", support::Json(request.solver));
+  if (request.max_iterations != 0) {
+    object.set("max_iterations", static_cast<std::int64_t>(request.max_iterations));
+  }
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 OptimizeRequest optimize_from_wire(const support::JsonObject& object) {
-  check_keys(object, {kEnvelope[0], kEnvelope[1], "catalog", "network", "solver"}, "optimize");
+  check_keys(object,
+             {kEnvelope[0], kEnvelope[1], "catalog", "network", "solver", "max_iterations",
+              "timeout_ms"},
+             "optimize");
   OptimizeRequest request;
   request.catalog = required_field(object, "catalog", "optimize");
   request.network = required_field(object, "network", "optimize");
   request.solver = optional_string(object, "solver");
+  if (const support::Json* iterations = object.find("max_iterations")) {
+    const std::int64_t value = iterations->as_integer();
+    if (value < 0) throw InvalidArgument("optimize max_iterations must be non-negative");
+    request.max_iterations = static_cast<std::size_t>(value);
+  }
+  request.timeout_ms = timeout_from_wire(object, "optimize");
   return request;
 }
 
@@ -113,11 +144,13 @@ void fields_to_wire(const EvaluateRequest& request, support::JsonObject& object)
   object.set("assignment", request.assignment);
   if (!request.entry.empty()) object.set("entry", support::Json(request.entry));
   if (!request.target.empty()) object.set("target", support::Json(request.target));
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 EvaluateRequest evaluate_from_wire(const support::JsonObject& object) {
   check_keys(object,
-             {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment", "entry", "target"},
+             {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment", "entry", "target",
+              "timeout_ms"},
              "evaluate");
   EvaluateRequest request;
   request.catalog = required_field(object, "catalog", "evaluate");
@@ -128,6 +161,7 @@ EvaluateRequest evaluate_from_wire(const support::JsonObject& object) {
   if (request.entry.empty() != request.target.empty()) {
     throw InvalidArgument("evaluate needs both entry and target, or neither");
   }
+  request.timeout_ms = timeout_from_wire(object, "evaluate");
   return request;
 }
 
@@ -135,40 +169,47 @@ void fields_to_wire(const ReportRequest& request, support::JsonObject& object) {
   object.set("catalog", request.catalog);
   object.set("network", request.network);
   object.set("assignment", request.assignment);
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 ReportRequest report_from_wire(const support::JsonObject& object) {
-  check_keys(object, {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment"}, "report");
+  check_keys(object,
+             {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment", "timeout_ms"},
+             "report");
   ReportRequest request;
   request.catalog = required_field(object, "catalog", "report");
   request.network = required_field(object, "network", "report");
   request.assignment = required_field(object, "assignment", "report");
+  request.timeout_ms = timeout_from_wire(object, "report");
   return request;
 }
 
 void fields_to_wire(const SimilarityRequest& request, support::JsonObject& object) {
   object.set("feed", request.feed);
   object.set("cpes", strings_to_json(request.cpes));
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 SimilarityRequest similarity_from_wire(const support::JsonObject& object) {
-  check_keys(object, {kEnvelope[0], kEnvelope[1], "feed", "cpes"}, "similarity");
+  check_keys(object, {kEnvelope[0], kEnvelope[1], "feed", "cpes", "timeout_ms"}, "similarity");
   SimilarityRequest request;
   request.feed = required_field(object, "feed", "similarity");
   request.cpes = strings_from_json(required_field(object, "cpes", "similarity"));
   if (request.cpes.size() < 2) {
     throw InvalidArgument("similarity needs at least two cpe queries");
   }
+  request.timeout_ms = timeout_from_wire(object, "similarity");
   return request;
 }
 
 void fields_to_wire(const BatchRequest& request, support::JsonObject& object) {
   object.set("grid", request.grid);
   if (request.threads != 0) object.set("threads", request.threads);
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 BatchRequest batch_from_wire(const support::JsonObject& object) {
-  check_keys(object, {kEnvelope[0], kEnvelope[1], "grid", "threads"}, "batch");
+  check_keys(object, {kEnvelope[0], kEnvelope[1], "grid", "threads", "timeout_ms"}, "batch");
   BatchRequest request;
   request.grid = required_field(object, "grid", "batch");
   if (const support::Json* threads = object.find("threads")) {
@@ -176,6 +217,7 @@ BatchRequest batch_from_wire(const support::JsonObject& object) {
     if (value < 0) throw InvalidArgument("batch threads must be non-negative");
     request.threads = static_cast<std::size_t>(value);
   }
+  request.timeout_ms = timeout_from_wire(object, "batch");
   return request;
 }
 
@@ -185,11 +227,13 @@ void fields_to_wire(const MetricRequest& request, support::JsonObject& object) {
   object.set("assignment", request.assignment);
   object.set("entry", support::Json(request.entry));
   object.set("target", support::Json(request.target));
+  timeout_to_wire(request.timeout_ms, object);
 }
 
 MetricRequest metric_from_wire(const support::JsonObject& object) {
   check_keys(object,
-             {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment", "entry", "target"},
+             {kEnvelope[0], kEnvelope[1], "catalog", "network", "assignment", "entry", "target",
+              "timeout_ms"},
              "metric");
   MetricRequest request;
   request.catalog = required_field(object, "catalog", "metric");
@@ -197,6 +241,7 @@ MetricRequest metric_from_wire(const support::JsonObject& object) {
   request.assignment = required_field(object, "assignment", "metric");
   request.entry = required_field(object, "entry", "metric").as_string();
   request.target = required_field(object, "target", "metric").as_string();
+  request.timeout_ms = timeout_from_wire(object, "metric");
   return request;
 }
 
@@ -224,6 +269,9 @@ support::Json result_to_json(const OptimizeResponse& response) {
   object.set("pairwise_similarity", json_number(response.pairwise_similarity));
   object.set("iterations", response.iterations);
   object.set("converged", response.converged);
+  // Omitted when false: complete results stay byte-identical to the
+  // pre-deadline wire format.
+  if (response.truncated) object.set("truncated", true);
   object.set("solve_seconds", response.solve_seconds);
   object.set("cached", response.cached);
   return support::Json(std::move(object));
@@ -236,6 +284,9 @@ OptimizeResponse optimize_result(const support::JsonObject& object) {
   response.pairwise_similarity = number_or_nan(object.at("pairwise_similarity"));
   response.iterations = static_cast<std::size_t>(object.at("iterations").as_integer());
   response.converged = object.at("converged").as_boolean();
+  if (const support::Json* truncated = object.find("truncated")) {
+    response.truncated = truncated->as_boolean();
+  }
   response.solve_seconds = object.at("solve_seconds").as_double();
   response.cached = object.at("cached").as_boolean();
   return response;
@@ -377,6 +428,8 @@ support::Json result_to_json(const StatusResponse& response) {
   requests.set("total", response.requests_total);
   requests.set("failed", response.requests_failed);
   requests.set("rejected", response.requests_rejected);
+  requests.set("admitted", response.requests_admitted);
+  requests.set("deadline", response.requests_deadline);
 
   support::JsonObject caches;
   caches.set("model", counters_to_json(response.model_cache));
@@ -407,6 +460,8 @@ StatusResponse status_result(const support::JsonObject& object) {
   response.requests_total = static_cast<std::size_t>(requests.at("total").as_integer());
   response.requests_failed = static_cast<std::size_t>(requests.at("failed").as_integer());
   response.requests_rejected = static_cast<std::size_t>(requests.at("rejected").as_integer());
+  response.requests_admitted = static_cast<std::size_t>(requests.at("admitted").as_integer());
+  response.requests_deadline = static_cast<std::size_t>(requests.at("deadline").as_integer());
   response.in_flight = static_cast<std::size_t>(object.at("in_flight").as_integer());
   response.queued = static_cast<std::size_t>(object.at("queued").as_integer());
   response.solve_seconds_total = object.at("solve_seconds_total").as_double();

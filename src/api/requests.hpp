@@ -40,6 +40,15 @@ inline constexpr std::string_view kServerName = "icsdivd/1.0";
 // ---------------------------------------------------------------------------
 // Requests.  Documents (catalog, network, assignment, feed, grid) are
 // carried inline as JSON values — the transport never sees file paths.
+//
+// Every compute request carries an optional `timeout_ms` (0 = unbounded):
+// a wall-clock deadline over the request's whole server-side life,
+// admission-queue wait included.  Expiry surfaces as `deadline_exceeded`
+// — except `optimize`, whose best-primal solvers return the best
+// assignment seen so far with `truncated: true` instead of failing.
+// Deadlines never change a completed result and are excluded from cache
+// keys: coalesced executions extend to the *latest* participant deadline,
+// so a shared compute is cancelled only when the last waiter gives up.
 
 /// Compute the diversified assignment α̂ for a network ("optimize").
 struct OptimizeRequest {
@@ -47,6 +56,10 @@ struct OptimizeRequest {
   support::Json network;
   /// Registry name; empty = the default solver ("trws").
   std::string solver;
+  /// Solver iteration cap; 0 = the solver default.  Part of the solve
+  /// cache key (different caps are different solves).
+  std::size_t max_iterations = 0;
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// Diversity metrics of an existing assignment; with an entry/target host
@@ -57,6 +70,7 @@ struct EvaluateRequest {
   support::Json assignment;
   std::string entry;   ///< host name; both or neither of entry/target
   std::string target;  ///< host name
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// Human-readable diversification report (full listing included).
@@ -64,18 +78,21 @@ struct ReportRequest {
   support::Json catalog;
   support::Json network;
   support::Json assignment;
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// Pairwise CVE-overlap similarity of CPE queries against an NVD feed.
 struct SimilarityRequest {
   support::Json feed;
   std::vector<std::string> cpes;  ///< at least two
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// Run a scenario grid through the staged batch engine.
 struct BatchRequest {
   support::Json grid;
   std::size_t threads = 0;  ///< batch worker threads; 0 = hardware
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// d_bn (Def. 6) for one entry/target pair on an existing assignment.
@@ -85,6 +102,7 @@ struct MetricRequest {
   support::Json assignment;
   std::string entry;   ///< host name
   std::string target;  ///< host name
+  std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
 };
 
 /// Daemon/service introspection: uptime, cache counters, load.
@@ -119,6 +137,9 @@ struct OptimizeResponse {
   double pairwise_similarity = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// The deadline expired mid-solve and this is the best assignment seen
+  /// so far, not a finished solve.  Truncated results are never cached.
+  bool truncated = false;
   double solve_seconds = 0.0;  ///< duration of the execution that solved it
   bool cached = false;
 };
@@ -185,6 +206,10 @@ struct StatusResponse {
   std::size_t requests_total = 0;
   std::size_t requests_failed = 0;
   std::size_t requests_rejected = 0;  ///< admission-queue rejections
+  std::size_t requests_admitted = 0;  ///< requests that passed the gate
+  /// Requests lost to their own deadline (queue-wait expiry included) or
+  /// an explicit cancellation.
+  std::size_t requests_deadline = 0;
   std::size_t in_flight = 0;          ///< requests currently executing
   std::size_t queued = 0;             ///< requests waiting for admission
   /// Cumulative compute time of cache-missing solve/eval executions.

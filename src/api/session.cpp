@@ -1,6 +1,7 @@
 #include "api/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "runner/artifact_cache.hpp"
 #include "runner/scenario.hpp"
 #include "sim/worm_sim.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 
 namespace icsdiv::api {
@@ -36,8 +38,9 @@ AdmissionGate::Ticket::~Ticket() {
   if (gate_ != nullptr) gate_->leave();
 }
 
-AdmissionGate::Ticket AdmissionGate::admit() {
+AdmissionGate::Ticket AdmissionGate::admit(const support::CancelToken& cancel) {
   std::unique_lock lock(mutex_);
+  cancel.check("admission.queue");
   if (running_ >= max_running_) {
     if (queued_ >= max_queued_) {
       ++rejected_;
@@ -46,10 +49,31 @@ AdmissionGate::Ticket AdmissionGate::admit() {
                            retry_after_seconds_);
     }
     ++queued_;
-    admitted_.wait(lock, [this] { return running_ < max_running_; });
+    try {
+      while (running_ >= max_running_) {
+        if (!cancel.valid()) {
+          admitted_.wait(lock, [this] { return running_ < max_running_; });
+          break;
+        }
+        // Sliced waits so an explicit cancel() (which cannot signal the
+        // condition variable) is noticed promptly; a deadline bounds the
+        // slice exactly.
+        auto until = support::CancelToken::Clock::now() + std::chrono::milliseconds(50);
+        if (cancel.deadline_ns() != support::CancelToken::kNoDeadline) {
+          until = std::min(until, cancel.deadline());
+        }
+        admitted_.wait_until(lock, until, [this] { return running_ < max_running_; });
+        if (running_ < max_running_) break;
+        cancel.check("admission.queue");
+      }
+    } catch (...) {
+      --queued_;
+      throw;
+    }
     --queued_;
   }
   ++running_;
+  ++admitted_count_;
   return Ticket(this);
 }
 
@@ -74,6 +98,11 @@ std::size_t AdmissionGate::queued() const {
 std::size_t AdmissionGate::rejected_total() const {
   const std::lock_guard lock(mutex_);
   return rejected_;
+}
+
+std::size_t AdmissionGate::admitted_total() const {
+  const std::lock_guard lock(mutex_);
+  return admitted_count_;
 }
 
 namespace {
@@ -107,6 +136,15 @@ runner::ArtifactKey model_key(const support::Json& catalog, const support::Json&
 
 // ---------------------------------------------------------------------------
 // CoalescingCache: content-addressed, in-flight-deduplicating, LRU.
+//
+// Every in-flight entry runs under its own CancelToken whose deadline is
+// the fetch-max over the participants' deadlines (a participant without
+// one removes the deadline), so the shared compute outlives any single
+// impatient caller and is cancelled only once the *last* interested
+// party's deadline has passed.  Blocked waiters leave at their own
+// deadline (DeadlineExceededError) without disturbing the execution; the
+// last waiter to give up additionally cancels the entry token so an
+// execution nobody is waiting on can stop early.
 
 template <typename Value>
 class CoalescingCache {
@@ -120,8 +158,13 @@ class CoalescingCache {
     bool executed = false;
   };
 
-  template <typename Compute>
-  Outcome get_or_compute(const runner::ArtifactKey& key, Compute&& compute) {
+  /// `compute` receives the entry's shared CancelToken (thread it into
+  /// the computation's cancellation points); `cacheable(value)` decides
+  /// whether the finished value is retained for later callers — in-flight
+  /// participants receive it either way (truncated solves use this).
+  template <typename Compute, typename Cacheable>
+  Outcome get_or_compute(const runner::ArtifactKey& key, const support::CancelToken& cancel,
+                         Compute&& compute, Cacheable&& cacheable) {
     std::shared_ptr<Entry> entry;
     {
       std::unique_lock lock(mutex_);
@@ -130,22 +173,39 @@ class CoalescingCache {
         ++counters_.hits;
         entry = it->second;
         entry->last_used = ++tick_;
-        ready_.wait(lock, [&] { return entry->done; });
+        if (!entry->done) {
+          entry->cancel.extend_deadline_ns(cancel.deadline_ns());
+          ++entry->waiters;
+          wait_for_entry(lock, *entry, cancel);
+        }
         if (entry->error) std::rethrow_exception(entry->error);
         return {entry->value, false};
       }
       ++counters_.executed;
       entry = std::make_shared<Entry>();
+      entry->cancel = cancel.deadline_ns() != support::CancelToken::kNoDeadline
+                          ? support::CancelToken::with_deadline(cancel.deadline())
+                          : support::CancelToken::cancellable();
       entry->last_used = ++tick_;
+      entry->waiters = 1;
       entries_.emplace(key, entry);
     }
     try {
-      std::shared_ptr<const Value> value = compute();
+      std::shared_ptr<const Value> value = compute(entry->cancel);
+      support::failpoint::evaluate("cache.insert");
+      const bool keep = cacheable(*value);
       {
         const std::lock_guard lock(mutex_);
         entry->value = std::move(value);
         entry->done = true;
-        evict_locked();
+        --entry->waiters;
+        if (keep) {
+          evict_locked();
+        } else {
+          // Timing-dependent values (truncated solves) serve the current
+          // participants but never later callers.
+          entries_.erase(key);
+        }
       }
       ready_.notify_all();
       return {entry->value, true};
@@ -154,12 +214,20 @@ class CoalescingCache {
         const std::lock_guard lock(mutex_);
         entry->error = std::current_exception();
         entry->done = true;
+        --entry->waiters;
         // Failures are not cached: later callers recompute.
         entries_.erase(key);
       }
       ready_.notify_all();
       throw;
     }
+  }
+
+  template <typename Compute>
+  Outcome get_or_compute(const runner::ArtifactKey& key, const support::CancelToken& cancel,
+                         Compute&& compute) {
+    return get_or_compute(key, cancel, std::forward<Compute>(compute),
+                          [](const Value&) { return true; });
   }
 
   [[nodiscard]] runner::StageCounters counters() const {
@@ -173,7 +241,38 @@ class CoalescingCache {
     std::shared_ptr<const Value> value;
     std::exception_ptr error;
     std::uint64_t last_used = 0;
+    /// The execution's shared token; deadline = max over participants'.
+    support::CancelToken cancel;
+    /// Participants still interested (executor + blocked waiters).
+    std::size_t waiters = 0;
   };
+
+  /// Blocks until the entry completes or the caller's own token expires;
+  /// expiry decrements the waiter count (cancelling the entry when it was
+  /// the last) and rethrows as the caller's deadline/cancel error.
+  void wait_for_entry(std::unique_lock<std::mutex>& lock, Entry& entry,
+                      const support::CancelToken& cancel) {
+    while (!entry.done) {
+      if (!cancel.valid()) {
+        ready_.wait(lock, [&] { return entry.done; });
+        break;
+      }
+      // Sliced waits: an explicit cancel() cannot signal ready_, so poll;
+      // a deadline bounds the slice exactly.
+      auto until = support::CancelToken::Clock::now() + std::chrono::milliseconds(50);
+      if (cancel.deadline_ns() != support::CancelToken::kNoDeadline) {
+        until = std::min(until, cancel.deadline());
+      }
+      ready_.wait_until(lock, until, [&] { return entry.done; });
+      if (entry.done) break;
+      if (cancel.expired()) {
+        --entry.waiters;
+        if (entry.waiters == 0) entry.cancel.cancel();
+        cancel.check("cache.wait");  // throws the caller's own error
+      }
+    }
+    --entry.waiters;
+  }
 
   /// Drops least-recently-used *completed* entries beyond capacity.
   /// In-flight entries are pinned; coalesced waiters keep their shared_ptr
@@ -224,8 +323,22 @@ struct SolveValue {
   double pairwise_similarity = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  bool truncated = false;  ///< deadline hit mid-solve; best-so-far labels
   double seconds = 0.0;
 };
+
+/// The per-request token: a deadline when the request carries one, inert
+/// (zero-cost checks) otherwise.
+support::CancelToken request_token(const Request& request) {
+  return std::visit(
+      [](const auto& typed) {
+        if constexpr (requires { typed.timeout_ms; }) {
+          if (typed.timeout_ms > 0) return support::CancelToken::after_ms(typed.timeout_ms);
+        }
+        return support::CancelToken();
+      },
+      request);
+}
 
 void add_counters(runner::StageCounters& into, const runner::StageCounters& from) {
   into.planned += from.planned;
@@ -269,10 +382,19 @@ struct Session::Impl {
       // when the gate is saturated.
       if (std::holds_alternative<StatusRequest>(request)) return status();
       if (std::holds_alternative<VersionRequest>(request)) return version();
-      const AdmissionGate::Ticket ticket = gate_.admit();
-      return std::visit([this](const auto& typed) { return run(typed); }, request);
+      // The deadline clock starts here — queue wait counts against it.
+      const support::CancelToken cancel = request_token(request);
+      const AdmissionGate::Ticket ticket = gate_.admit(cancel);
+      return std::visit([this, &cancel](const auto& typed) { return run(typed, cancel); },
+                        request);
     } catch (const SaturatedError&) {
       throw;  // counted via rejected_total(), not as a failure
+    } catch (const CancelledError&) {
+      count_deadline_failure();
+      throw;
+    } catch (const DeadlineExceededError&) {
+      count_deadline_failure();
+      throw;
     } catch (...) {
       const std::lock_guard lock(stats_mutex_);
       ++requests_failed_;
@@ -284,6 +406,7 @@ struct Session::Impl {
     StatusResponse response;
     response.uptime_seconds = started_.seconds();
     response.requests_rejected = gate_.rejected_total();
+    response.requests_admitted = gate_.admitted_total();
     response.in_flight = gate_.running();
     response.queued = gate_.queued();
     response.model_cache = models_.counters();
@@ -293,6 +416,7 @@ struct Session::Impl {
     const std::lock_guard lock(stats_mutex_);
     response.requests_total = requests_total_;
     response.requests_failed = requests_failed_;
+    response.requests_deadline = requests_deadline_;
     response.solve_seconds_total = solve_seconds_total_;
     response.batch_wall_seconds_total = batch_wall_seconds_total_;
     response.batch_stages = batch_stages_;
@@ -312,9 +436,13 @@ struct Session::Impl {
   /// caches' compute paths so model lookups are only planned on misses.
   [[nodiscard]] std::shared_ptr<const ModelArtifact> get_model(const support::Json& catalog,
                                                                const support::Json& network) {
+    // Model parsing is quick and its artifact is deadline-independent, so
+    // it always runs to completion (inert token).
     return models_
-        .get_or_compute(model_key(catalog, network),
-                        [&] { return std::make_shared<const ModelArtifact>(catalog, network); })
+        .get_or_compute(model_key(catalog, network), support::CancelToken(),
+                        [&](const support::CancelToken&) {
+                          return std::make_shared<const ModelArtifact>(catalog, network);
+                        })
         .value;
   }
 
@@ -323,50 +451,72 @@ struct Session::Impl {
     solve_seconds_total_ += seconds;
   }
 
-  [[nodiscard]] Response run(const OptimizeRequest& request) {
+  void count_deadline_failure() {
+    const std::lock_guard lock(stats_mutex_);
+    ++requests_failed_;
+    ++requests_deadline_;
+  }
+
+  [[nodiscard]] Response run(const OptimizeRequest& request, const support::CancelToken& cancel) {
     const std::string solver =
         request.solver.empty() ? core::OptimizeOptions{}.solver : request.solver;
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Solve);
     const runner::ArtifactKey model = model_key(request.catalog, request.network);
     hasher.mix(model.hi).mix(model.lo).mix(solver);
-    const auto outcome = solves_.get_or_compute(hasher.key(), [&] {
-      const std::shared_ptr<const ModelArtifact> artifact =
-          get_model(request.catalog, request.network);
-      core::OptimizeOptions options;
-      options.solver = solver;
-      const support::Stopwatch watch;
-      const core::Optimizer optimizer(artifact->network);
-      const core::OptimizeOutcome solved = optimizer.optimize({}, options);
-      auto value = std::make_shared<SolveValue>();
-      value->assignment = solved.assignment.to_json();
-      value->energy = solved.solve.energy;
-      value->pairwise_similarity = solved.pairwise_similarity;
-      value->iterations = solved.solve.iterations;
-      value->converged = solved.solve.converged;
-      value->seconds = watch.seconds();
-      count_solve_seconds(value->seconds);
-      return value;
-    });
+    // Different iteration caps are different solves; the deadline is NOT
+    // part of the key (it never changes a completed result).
+    hasher.mix(static_cast<std::uint64_t>(request.max_iterations));
+    const auto outcome = solves_.get_or_compute(
+        hasher.key(), cancel,
+        [&](const support::CancelToken& token) {
+          support::failpoint::evaluate("session.compute");
+          const std::shared_ptr<const ModelArtifact> artifact =
+              get_model(request.catalog, request.network);
+          core::OptimizeOptions options;
+          options.solver = solver;
+          if (request.max_iterations != 0) options.solve.max_iterations = request.max_iterations;
+          options.solve.cancel = token;
+          const support::Stopwatch watch;
+          const core::Optimizer optimizer(artifact->network);
+          const core::OptimizeOutcome solved = optimizer.optimize({}, options);
+          auto value = std::make_shared<SolveValue>();
+          value->assignment = solved.assignment.to_json();
+          value->energy = solved.solve.energy;
+          value->pairwise_similarity = solved.pairwise_similarity;
+          value->iterations = solved.solve.iterations;
+          value->converged = solved.solve.converged;
+          value->truncated = solved.solve.truncated;
+          value->seconds = watch.seconds();
+          count_solve_seconds(value->seconds);
+          return value;
+        },
+        [](const SolveValue& value) { return !value.truncated; });
     OptimizeResponse response;
     response.assignment = outcome.value->assignment;
     response.energy = outcome.value->energy;
     response.pairwise_similarity = outcome.value->pairwise_similarity;
     response.iterations = outcome.value->iterations;
     response.converged = outcome.value->converged;
+    response.truncated = outcome.value->truncated;
     response.solve_seconds = outcome.value->seconds;
     response.cached = !outcome.executed;
     return response;
   }
 
   /// Shared eval-cache path: the cached artifact is the Response itself.
+  /// `compute` receives the coalesced execution's token.
   template <typename Compute>
-  [[nodiscard]] Response eval_cached(const runner::ArtifactKey& key, Compute&& compute) {
-    const auto outcome = evals_.get_or_compute(key, [&]() -> std::shared_ptr<const Response> {
-      const support::Stopwatch watch;
-      auto value = std::make_shared<Response>(compute());
-      count_solve_seconds(watch.seconds());
-      return value;
-    });
+  [[nodiscard]] Response eval_cached(const runner::ArtifactKey& key,
+                                     const support::CancelToken& cancel, Compute&& compute) {
+    const auto outcome = evals_.get_or_compute(
+        key, cancel,
+        [&](const support::CancelToken& token) -> std::shared_ptr<const Response> {
+          support::failpoint::evaluate("session.compute");
+          const support::Stopwatch watch;
+          auto value = std::make_shared<Response>(compute(token));
+          count_solve_seconds(watch.seconds());
+          return value;
+        });
     Response response = *outcome.value;
     std::visit(
         [&](auto& typed) {
@@ -376,14 +526,14 @@ struct Session::Impl {
     return response;
   }
 
-  [[nodiscard]] Response run(const EvaluateRequest& request) {
+  [[nodiscard]] Response run(const EvaluateRequest& request, const support::CancelToken& cancel) {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
     hasher.mix(static_cast<std::uint64_t>(EvalOp::Evaluate));
     mix_json(hasher, request.catalog);
     mix_json(hasher, request.network);
     mix_json(hasher, request.assignment);
     hasher.mix(request.entry).mix(request.target);
-    return eval_cached(hasher.key(), [&]() -> Response {
+    return eval_cached(hasher.key(), cancel, [&](const support::CancelToken& token) -> Response {
       const std::shared_ptr<const ModelArtifact> model =
           get_model(request.catalog, request.network);
       const core::Assignment assignment =
@@ -395,13 +545,17 @@ struct Session::Impl {
       if (!request.entry.empty()) {
         const core::HostId entry = model->network.host_id(request.entry);
         const core::HostId target = model->network.host_id(request.target);
+        bayes::DiversityMetricOptions metric_options;
+        metric_options.inference.cancel = token;
         const bayes::DiversityMetricResult metric =
-            bayes::bn_diversity_metric(assignment, entry, target);
+            bayes::bn_diversity_metric(assignment, entry, target, metric_options);
         response.pair_evaluated = true;
         response.d_bn = metric.d_bn;
         response.log10_p_with = metric.log10_with();
         response.exploit_count = bayes::least_attack_effort(assignment, entry, target).exploit_count;
-        const sim::WormSimulator simulator(assignment, sim::SimulationParams{});
+        sim::SimulationParams params;
+        params.cancel = token;
+        const sim::WormSimulator simulator(assignment, params);
         const sim::MttcResult mttc = simulator.mttc(entry, target, 500, 1);
         response.mttc_runs = mttc.runs;
         response.mttc_mean = mttc.mean;
@@ -412,15 +566,16 @@ struct Session::Impl {
     });
   }
 
-  [[nodiscard]] Response run(const ReportRequest& request) {
+  [[nodiscard]] Response run(const ReportRequest& request, const support::CancelToken& cancel) {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
     hasher.mix(static_cast<std::uint64_t>(EvalOp::Report));
     mix_json(hasher, request.catalog);
     mix_json(hasher, request.network);
     mix_json(hasher, request.assignment);
-    return eval_cached(hasher.key(), [&]() -> Response {
+    return eval_cached(hasher.key(), cancel, [&](const support::CancelToken& token) -> Response {
       const std::shared_ptr<const ModelArtifact> model =
           get_model(request.catalog, request.network);
+      token.check("session.report");
       const core::Assignment assignment =
           core::Assignment::from_json(model->network, request.assignment);
       core::ReportOptions options;
@@ -431,13 +586,14 @@ struct Session::Impl {
     });
   }
 
-  [[nodiscard]] Response run(const SimilarityRequest& request) {
+  [[nodiscard]] Response run(const SimilarityRequest& request, const support::CancelToken& cancel) {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
     hasher.mix(static_cast<std::uint64_t>(EvalOp::Similarity));
     mix_json(hasher, request.feed);
     hasher.mix_range(request.cpes);
-    return eval_cached(hasher.key(), [&]() -> Response {
+    return eval_cached(hasher.key(), cancel, [&](const support::CancelToken& token) -> Response {
       const nvd::VulnerabilityDatabase feed = nvd::VulnerabilityDatabase::from_json(request.feed);
+      token.check("session.similarity");
       std::vector<nvd::ProductRef> products;
       for (const std::string& cpe : request.cpes) {
         products.push_back(nvd::ProductRef{cpe, nvd::CpeUri::parse(cpe)});
@@ -455,20 +611,23 @@ struct Session::Impl {
     });
   }
 
-  [[nodiscard]] Response run(const MetricRequest& request) {
+  [[nodiscard]] Response run(const MetricRequest& request, const support::CancelToken& cancel) {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Eval);
     hasher.mix(static_cast<std::uint64_t>(EvalOp::Metric));
     mix_json(hasher, request.catalog);
     mix_json(hasher, request.network);
     mix_json(hasher, request.assignment);
     hasher.mix(request.entry).mix(request.target);
-    return eval_cached(hasher.key(), [&]() -> Response {
+    return eval_cached(hasher.key(), cancel, [&](const support::CancelToken& token) -> Response {
       const std::shared_ptr<const ModelArtifact> model =
           get_model(request.catalog, request.network);
       const core::Assignment assignment =
           core::Assignment::from_json(model->network, request.assignment);
-      const bayes::DiversityMetricResult metric = bayes::bn_diversity_metric(
-          assignment, model->network.host_id(request.entry), model->network.host_id(request.target));
+      bayes::DiversityMetricOptions metric_options;
+      metric_options.inference.cancel = token;
+      const bayes::DiversityMetricResult metric =
+          bayes::bn_diversity_metric(assignment, model->network.host_id(request.entry),
+                                     model->network.host_id(request.target), metric_options);
       MetricResponse response;
       response.d_bn = metric.d_bn;
       response.p_with = metric.p_with_similarity;
@@ -477,53 +636,64 @@ struct Session::Impl {
     });
   }
 
-  [[nodiscard]] Response run(const BatchRequest& request) {
+  [[nodiscard]] Response run(const BatchRequest& request, const support::CancelToken& cancel) {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Batch);
     mix_json(hasher, request.grid);
     hasher.mix(static_cast<std::uint64_t>(request.threads));
-    const auto outcome = batches_.get_or_compute(hasher.key(), [&] {
-      const runner::ScenarioGrid grid = runner::ScenarioGrid::from_json(request.grid);
-      const std::vector<runner::ScenarioSpec> specs = grid.expand();
-      require(!specs.empty(), "batch", "grid expands to zero scenarios");
-      // Fail on typos before any (potentially huge) workload gets built.
-      for (const std::string& solver : grid.solvers) {
-        if (!mrf::SolverRegistry::instance().contains(solver)) {
-          throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
-                                mrf::SolverRegistry::instance().names_joined(", ") + ")");
-        }
-      }
-      const std::vector<std::string> recipes = runner::constraint_recipe_names();
-      for (const std::string& recipe : grid.constraints) {
-        if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
-          throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
-        }
-      }
-      runner::BatchOptions options;
-      options.threads = request.threads;
-      options.on_result = options_.on_batch_result;
-      const runner::BatchRunner batch(options);
-      const runner::BatchReport report = batch.run(specs);
-      auto value = std::make_shared<BatchResponse>();
-      value->report = report.to_json();
-      std::ostringstream csv;
-      report.write_csv(csv);
-      value->csv = csv.str();
-      value->cells = specs.size();
-      value->failed = report.failed_count();
-      {
-        const std::lock_guard lock(stats_mutex_);
-        batch_wall_seconds_total_ += report.wall_seconds;
-        add_stage_stats(batch_stages_, report.stage_stats);
-      }
-      return value;
-    });
+    const auto outcome = batches_.get_or_compute(
+        hasher.key(), cancel, [&](const support::CancelToken& token) {
+          support::failpoint::evaluate("session.compute");
+          const runner::ScenarioGrid grid = runner::ScenarioGrid::from_json(request.grid);
+          const std::vector<runner::ScenarioSpec> specs = grid.expand();
+          require(!specs.empty(), "batch", "grid expands to zero scenarios");
+          // Fail on typos before any (potentially huge) workload gets built.
+          for (const std::string& solver : grid.solvers) {
+            if (!mrf::SolverRegistry::instance().contains(solver)) {
+              throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
+                                    mrf::SolverRegistry::instance().names_joined(", ") + ")");
+            }
+          }
+          const std::vector<std::string> recipes = runner::constraint_recipe_names();
+          for (const std::string& recipe : grid.constraints) {
+            if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
+              throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
+            }
+          }
+          runner::BatchOptions options;
+          options.threads = request.threads;
+          options.on_result = options_.on_batch_result;
+          options.cancel = token;
+          const runner::BatchRunner batch(options);
+          const runner::BatchReport report = batch.run(specs);
+          // A report produced under an expired deadline is made of
+          // deadline-failed cells — surface the deadline error instead of
+          // caching a hollow report.
+          token.check("session.batch");
+          auto value = std::make_shared<BatchResponse>();
+          value->report = report.to_json();
+          std::ostringstream csv;
+          report.write_csv(csv);
+          value->csv = csv.str();
+          value->cells = specs.size();
+          value->failed = report.failed_count();
+          {
+            const std::lock_guard lock(stats_mutex_);
+            batch_wall_seconds_total_ += report.wall_seconds;
+            add_stage_stats(batch_stages_, report.stage_stats);
+          }
+          return value;
+        });
     BatchResponse response = *outcome.value;
     response.cached = !outcome.executed;
     return response;
   }
 
-  [[nodiscard]] Response run(const StatusRequest&) { return status(); }
-  [[nodiscard]] Response run(const VersionRequest&) { return version(); }
+  [[nodiscard]] Response run(const StatusRequest&, const support::CancelToken&) {
+    return status();
+  }
+  [[nodiscard]] Response run(const VersionRequest&, const support::CancelToken&) {
+    return version();
+  }
 
   SessionOptions options_;
   support::Stopwatch started_;
@@ -536,6 +706,7 @@ struct Session::Impl {
   mutable std::mutex stats_mutex_;
   std::size_t requests_total_ = 0;
   std::size_t requests_failed_ = 0;
+  std::size_t requests_deadline_ = 0;
   double solve_seconds_total_ = 0.0;
   double batch_wall_seconds_total_ = 0.0;
   runner::StageStats batch_stages_;

@@ -22,6 +22,15 @@
 // up to `max_queued` wait; beyond that the Session rejects with
 // SaturatedError carrying a retry-after hint (`status`/`version` bypass
 // admission so health stays observable under load).
+//
+// Deadlines (request `timeout_ms`) cover the whole server-side life of a
+// request, queue wait included.  A coalesced execution runs under one
+// shared CancelToken whose deadline is the *maximum* over its
+// participants' (a participant without a deadline removes it), so a
+// shared compute is cancelled only when the last interested party has
+// given up; blocked waiters leave at their own deadline.  Truncated
+// optimize results (best-so-far under an expired deadline) are returned
+// to the participants of that execution but never cached.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +40,7 @@
 
 #include "api/requests.hpp"
 #include "runner/batch_runner.hpp"
+#include "support/cancel.hpp"
 
 namespace icsdiv::api {
 
@@ -73,11 +83,15 @@ class AdmissionGate {
 
   /// Admits immediately, waits in the bounded queue, or throws
   /// SaturatedError (with the retry-after hint) when the queue is full.
-  [[nodiscard]] Ticket admit();
+  /// Queue wait counts against the request's deadline: an expired
+  /// `cancel` token throws DeadlineExceededError / CancelledError from
+  /// the queue instead of occupying a slot.
+  [[nodiscard]] Ticket admit(const support::CancelToken& cancel = {});
 
   [[nodiscard]] std::size_t running() const;
   [[nodiscard]] std::size_t queued() const;
   [[nodiscard]] std::size_t rejected_total() const;
+  [[nodiscard]] std::size_t admitted_total() const;
 
  private:
   void leave();
@@ -90,6 +104,7 @@ class AdmissionGate {
   std::size_t running_ = 0;
   std::size_t queued_ = 0;
   std::size_t rejected_ = 0;
+  std::size_t admitted_count_ = 0;
 };
 
 /// One warm execution context.  Thread-safe: any number of threads may

@@ -22,6 +22,10 @@ std::string_view status_code_name(StatusCode code) noexcept {
       return "partial_failure";
     case StatusCode::Internal:
       return "internal";
+    case StatusCode::DeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::Cancelled:
+      return "cancelled";
   }
   return "internal";
 }
@@ -30,7 +34,8 @@ StatusCode status_code_from_name(std::string_view name) {
   for (const StatusCode code :
        {StatusCode::Ok, StatusCode::InvalidArgument, StatusCode::ParseError, StatusCode::NotFound,
         StatusCode::Infeasible, StatusCode::LogicError, StatusCode::Saturated,
-        StatusCode::PartialFailure, StatusCode::Internal}) {
+        StatusCode::PartialFailure, StatusCode::Internal, StatusCode::DeadlineExceeded,
+        StatusCode::Cancelled}) {
     if (status_code_name(code) == name) return code;
   }
   throw InvalidArgument("unknown status code: " + std::string(name));
@@ -41,6 +46,8 @@ int exit_code(StatusCode code) noexcept { return static_cast<int>(code); }
 StatusCode status_code_for(const std::exception& error) noexcept {
   // Most-derived first: SaturatedError and ParseError both derive Error.
   if (dynamic_cast<const SaturatedError*>(&error)) return StatusCode::Saturated;
+  if (dynamic_cast<const DeadlineExceededError*>(&error)) return StatusCode::DeadlineExceeded;
+  if (dynamic_cast<const CancelledError*>(&error)) return StatusCode::Cancelled;
   if (dynamic_cast<const InvalidArgument*>(&error)) return StatusCode::InvalidArgument;
   if (dynamic_cast<const ParseError*>(&error)) return StatusCode::ParseError;
   if (dynamic_cast<const NotFound*>(&error)) return StatusCode::NotFound;
@@ -65,6 +72,10 @@ std::string_view detail_for(StatusCode code) noexcept {
       return "icsdiv::LogicError";
     case StatusCode::Saturated:
       return "icsdiv::api::SaturatedError";
+    case StatusCode::DeadlineExceeded:
+      return "icsdiv::DeadlineExceededError";
+    case StatusCode::Cancelled:
+      return "icsdiv::CancelledError";
     default:
       return "std::exception";
   }
@@ -121,6 +132,10 @@ void throw_error_body(const ErrorBody& body) {
     case StatusCode::Saturated:
       throw SaturatedError(body.message,
                            body.retry_after_seconds >= 0.0 ? body.retry_after_seconds : 1.0);
+    case StatusCode::DeadlineExceeded:
+      throw DeadlineExceededError(body.message);
+    case StatusCode::Cancelled:
+      throw CancelledError(body.message);
     default:
       throw Error(body.message);
   }

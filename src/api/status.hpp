@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -25,9 +26,11 @@ enum class StatusCode {
   NotFound = 4,         ///< a named entity (file, host, product) is absent
   Infeasible = 5,       ///< constraints unsatisfiable / computation cannot proceed
   LogicError = 6,       ///< internal invariant broken (a library bug)
-  Saturated = 7,        ///< admission queue full; retry after the hinted delay
-  PartialFailure = 8,   ///< batch completed, but some cells failed
-  Internal = 9,         ///< any other exception
+  Saturated = 7,         ///< admission queue full; retry after the hinted delay
+  PartialFailure = 8,    ///< batch completed, but some cells failed
+  Internal = 9,          ///< any other exception
+  DeadlineExceeded = 10, ///< the request's timeout_ms elapsed before completion
+  Cancelled = 11,        ///< the request was cancelled explicitly
 };
 
 /// The wire spelling ("ok", "invalid_argument", ...).  Stable.

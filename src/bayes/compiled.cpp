@@ -239,6 +239,9 @@ void CompiledReliability::monte_carlo_fill(std::span<const core::HostId> targets
   const auto run_chunks = [&](std::size_t chunk_lo, std::size_t chunk_hi, McState& state,
                               std::uint64_t* model_hits, std::uint64_t* baseline_hits) {
     for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
+      // Chunk-granular poll: 8192 samples between checks keeps the
+      // overhead invisible while bounding the cancel latency.
+      options.cancel.check("bayes.mc");
       support::Rng rng = support::stream_rng(options.seed, c);
       const std::size_t chunk_samples =
           std::min(kMcChunkSamples, samples - c * kMcChunkSamples);

@@ -49,6 +49,7 @@
 #include "bayes/propagation.hpp"
 #include "bayes/reliability.hpp"
 #include "graph/layered_dag.hpp"
+#include "support/cancel.hpp"
 
 namespace icsdiv::bayes {
 
@@ -69,6 +70,11 @@ struct InferenceOptions {
   /// path included.
   bool parallel = true;
   std::size_t threads = 0;
+  /// Cooperative cancellation, polled between Monte-Carlo sample chunks.
+  /// A partial estimate has no principled error bars, so expiry throws
+  /// (DeadlineExceededError / CancelledError).  Never affects results and
+  /// is excluded from artifact keys.
+  support::CancelToken cancel;
 };
 
 /// Boundary validation: an options block that cannot produce a meaningful

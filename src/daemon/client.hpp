@@ -6,42 +6,101 @@
 // indistinguishable from a local api::execute failure, which is the
 // point of the transport-agnostic API).  `call_raw` exchanges raw JSON
 // envelopes for tests and tools that speak the wire format directly.
+//
+// Robustness knobs (ClientOptions, all off by default so the seed-era
+// behaviour is unchanged):
+//
+//   * connect_timeout_ms — bounds the TCP/unix connect itself.
+//   * read_timeout_ms    — bounds the wait for each reply; expiry throws
+//     DeadlineExceededError and is never retried (the request may still
+//     complete server-side).
+//   * max_attempts > 1   — `call` retries on SaturatedError (honouring
+//     the server's retry_after_seconds hint), on failed connects, and on
+//     connections lost mid-exchange (ConnectionLost), sleeping a
+//     jittered exponential backoff between attempts.  Server-side
+//     request errors (InvalidArgument, deadline_exceeded, ...) are never
+//     retried: the server answered, the answer was an error.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "api/requests.hpp"
 #include "daemon/protocol.hpp"
+#include "support/rng.hpp"
 #include "support/socket.hpp"
 
 namespace icsdiv::daemon {
 
+/// The connection died mid-exchange (EOF, reset, or a corrupt frame):
+/// the reply is unknowable on this socket, but a fresh connection may
+/// succeed — the one transport failure `call` treats as retryable.
+class ConnectionLost : public Error {
+ public:
+  explicit ConnectionLost(const std::string& what) : Error(what) {}
+};
+
+struct ClientOptions {
+  /// Bounds Socket::connect; 0 keeps the blocking connect.
+  int connect_timeout_ms = 0;
+  /// Bounds the wait for each reply frame; 0 waits forever.
+  int read_timeout_ms = 0;
+  /// Total tries per call() (1 = no retries).
+  std::size_t max_attempts = 1;
+  /// Exponential backoff between retries: attempt k sleeps a jittered
+  /// min(base · 2^(k−1), max); a SaturatedError's retry_after_seconds
+  /// hint raises the floor.
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  /// Seeds the jitter stream (deterministic backoff schedules in tests).
+  std::uint64_t jitter_seed = 0x1C5D;
+};
+
 class Client {
  public:
   /// Connects (throws NotFound when nothing listens on `endpoint`).
-  [[nodiscard]] static Client connect(const support::Endpoint& endpoint);
-  [[nodiscard]] static Client connect(std::string_view endpoint) {
-    return connect(support::Endpoint::parse(endpoint));
+  [[nodiscard]] static Client connect(const support::Endpoint& endpoint,
+                                      ClientOptions options = {});
+  [[nodiscard]] static Client connect(std::string_view endpoint, ClientOptions options = {}) {
+    return connect(support::Endpoint::parse(endpoint), std::move(options));
   }
 
   Client(Client&&) noexcept = default;
   Client& operator=(Client&&) noexcept = default;
 
   /// Typed round-trip; server-side errors rethrow as icsdiv exceptions.
+  /// Retries per ClientOptions (reconnecting as needed); the request is
+  /// serialised once, so every attempt sends identical bytes.
   [[nodiscard]] api::Response call(const api::Request& request);
 
-  /// Raw JSON envelope round-trip (no error mapping).
+  /// Raw JSON envelope round-trip (no error mapping, no retries).
   [[nodiscard]] support::Json call_raw(const support::Json& wire);
 
   /// Sends raw bytes as one frame payload and returns the reply payload
-  /// (for driving the server with deliberately malformed JSON).
+  /// (for driving the server with deliberately malformed JSON).  Throws
+  /// ConnectionLost — and invalidates the socket — when the connection
+  /// dies mid-exchange; DeadlineExceededError on a read timeout.
   [[nodiscard]] std::string call_text(std::string_view payload);
 
+  /// True while the underlying socket is usable (a lost connection stays
+  /// down until the next retrying call() reconnects).
+  [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+
  private:
-  explicit Client(support::Socket socket) : socket_(std::move(socket)) {}
+  Client(support::Socket socket, support::Endpoint endpoint, ClientOptions options)
+      : socket_(std::move(socket)),
+        endpoint_(std::move(endpoint)),
+        options_(options),
+        jitter_(options.jitter_seed) {}
+
+  void ensure_connected();
+  void backoff(std::size_t attempt, double floor_seconds);
 
   support::Socket socket_;
+  support::Endpoint endpoint_;
+  ClientOptions options_;
+  support::Rng jitter_;
   FrameDecoder decoder_;
 };
 

@@ -175,11 +175,13 @@ SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& opt
     const bool converged_now = max_delta < options.tolerance;
     const bool timed_out =
         options.time_limit_seconds > 0 && watch.seconds() > options.time_limit_seconds;
+    const bool expired = options.cancel.expired();
     const bool last = iteration == options.max_iterations;
 
     // Decode from beliefs and keep the best labeling seen (BP can cycle).
     // The O(E) energy evaluation is amortised by decode_interval.
-    if (converged_now || timed_out || last || iteration % options.decode_interval == 0) {
+    if (converged_now || timed_out || expired || last ||
+        iteration % options.decode_interval == 0) {
       run_shards(decode_shard);
       const Cost energy = mrf.energy(labels);
       if (energy < result.energy) {
@@ -190,6 +192,10 @@ SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& opt
 
     if (converged_now) {
       result.converged = true;
+      break;
+    }
+    if (expired) {
+      result.truncated = true;
       break;
     }
     if (timed_out) break;

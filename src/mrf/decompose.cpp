@@ -123,6 +123,7 @@ SolveResult DecomposedSolver::solve(const Mrf& mrf, const SolveOptions& options)
     merged.lower_bound += r.lower_bound;
     merged.iterations = std::max(merged.iterations, r.iterations);
     merged.converged = merged.converged && r.converged;
+    merged.truncated = merged.truncated || r.truncated;
   }
   merged.seconds = watch.seconds();
   return merged;

@@ -5,7 +5,6 @@
 namespace icsdiv::mrf {
 
 SolveResult ExhaustiveSolver::solve(const Mrf& mrf, const SolveOptions& options) const {
-  (void)options;
   support::Stopwatch watch;
   const std::size_t n = mrf.variable_count();
 
@@ -40,6 +39,15 @@ SolveResult ExhaustiveSolver::solve(const Mrf& mrf, const SolveOptions& options)
       ++position;
     }
     if (position == n) break;
+    // Poll the token every few thousand candidates; the best-so-far makes
+    // a meaningful truncated answer even mid-enumeration.
+    if (evaluated % 4096 == 0 && options.cancel.expired()) {
+      result.lower_bound = -std::numeric_limits<Cost>::infinity();
+      result.iterations = evaluated;
+      result.truncated = true;
+      result.seconds = watch.seconds();
+      return result;
+    }
     const Cost energy = mrf.energy(current);
     ++evaluated;
     if (energy < result.energy) {

@@ -34,6 +34,12 @@ SolveResult IcmSolver::solve_compiled(const CompiledMrf& compiled,
   bool changed = true;
   std::size_t iteration = 0;
   while (changed && iteration < options.max_iterations) {
+    if (options.cancel.expired()) {
+      // ICM is monotone coordinate descent: the current labels are the
+      // best assignment seen, so return them tagged truncated.
+      result.truncated = true;
+      break;
+    }
     changed = false;
     ++iteration;
     for (VariableId i = 0; i < n; ++i) {

@@ -121,6 +121,7 @@ SolveResult MultilevelSolver::solve_compiled(const CompiledMrf& compiled,
   // Solve the coarsest level with the base solver.
   SolveResult coarse_result = base_.solve(*fine_chain.back(), options);
   std::vector<Label> labels = std::move(coarse_result.labels);
+  bool truncated = coarse_result.truncated;
 
   // Project back and refine with ICM sweeps at each finer level.  Each
   // intermediate level is compiled once for its refinement pass; the finest
@@ -134,6 +135,7 @@ SolveResult MultilevelSolver::solve_compiled(const CompiledMrf& compiled,
     }
     SolveOptions refine_options;
     refine_options.max_iterations = options_.refine_iterations;
+    refine_options.cancel = options.cancel;
     refine_options.initial_labels = std::move(fine_labels);
     SolveResult refined;
     if (k == 0) {
@@ -143,6 +145,7 @@ SolveResult MultilevelSolver::solve_compiled(const CompiledMrf& compiled,
       refined = refiner.solve_compiled(fine_compiled, refine_options);
     }
     labels = std::move(refined.labels);
+    truncated = truncated || refined.truncated;
   }
 
   SolveResult result;
@@ -152,6 +155,7 @@ SolveResult MultilevelSolver::solve_compiled(const CompiledMrf& compiled,
                                       : -std::numeric_limits<Cost>::infinity();
   result.iterations = coarse_result.iterations;
   result.converged = coarse_result.converged;
+  result.truncated = truncated;
   result.seconds = watch.seconds();
   return result;
 }

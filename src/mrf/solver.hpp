@@ -8,6 +8,7 @@
 
 #include "mrf/compiled.hpp"
 #include "mrf/model.hpp"
+#include "support/cancel.hpp"
 
 namespace icsdiv::mrf {
 
@@ -18,6 +19,10 @@ struct SolveOptions {
   Cost tolerance = 1e-9;
   /// Wall-clock budget in seconds; 0 disables the limit.
   double time_limit_seconds = 0.0;
+  /// Cooperative cancellation, polled once per iteration.  Solvers that
+  /// track a best primal stop and return it tagged `truncated`; the
+  /// default token never fires.
+  support::CancelToken cancel;
   /// Optional warm start; must match variable_count or be empty.
   std::vector<Label> initial_labels;
 };
@@ -30,6 +35,9 @@ struct SolveResult {
   std::size_t iterations = 0;
   double seconds = 0.0;
   bool converged = false;
+  /// True when the solve stopped early on an expired CancelToken: the
+  /// labels are the best assignment seen so far, not the full-budget run.
+  bool truncated = false;
 
   /// Duality gap (energy − lower_bound); infinity when no bound exists.
   [[nodiscard]] Cost gap() const noexcept { return energy - lower_bound; }

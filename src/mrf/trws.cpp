@@ -389,7 +389,15 @@ SolveResult TrwsSolver::solve_trws(const CompiledMrf& compiled,
   Cost previous_bound = -std::numeric_limits<Cost>::infinity();
 
   for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    if (options.cancel.expired()) {
+      result.truncated = true;
+      break;
+    }
     machine.sweep(/*ascending=*/true);
+    if (options.cancel.expired()) {
+      result.truncated = true;
+      break;
+    }
     machine.sweep(/*ascending=*/false);
 
     const Cost bound = machine.lower_bound();
@@ -424,7 +432,13 @@ SolveResult TrwsSolver::solve_trws(const CompiledMrf& compiled,
   }
 
   // Ensure a final extraction happened even when track_best_primal is off
-  // and the loop exited early.
+  // and the loop exited early.  Skipped on truncation — extract/energy and
+  // the polish below are full passes over the model, exactly the work an
+  // expired deadline says we no longer have time for.
+  if (result.truncated) {
+    result.seconds = watch.seconds();
+    return result;
+  }
   if (!options.track_best_primal) {
     std::vector<Label> labels = machine.extract();
     const Cost energy = mrf.energy(labels);

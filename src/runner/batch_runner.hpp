@@ -24,6 +24,7 @@
 
 #include "runner/artifact_cache.hpp"
 #include "runner/scenario.hpp"
+#include "support/cancel.hpp"
 #include "support/json.hpp"
 
 namespace icsdiv::runner {
@@ -127,6 +128,11 @@ struct BatchOptions {
   /// Called after each cell completes, from the completing thread
   /// (serialise your own side effects); useful for progress dots.
   std::function<void(const ScenarioResult&)> on_result;
+  /// Cooperative cancellation, checked at every stage-task boundary and
+  /// threaded into the stage computations (solver iterations, MTTC runs,
+  /// metric sample chunks).  Cells reached after expiry fail with a
+  /// deadline/cancel error instead of computing; the DAG still drains.
+  support::CancelToken cancel;
 };
 
 class BatchRunner {

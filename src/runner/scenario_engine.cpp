@@ -11,6 +11,8 @@
 #include "core/metrics.hpp"
 #include "core/optimizer.hpp"
 #include "sim/compiled.hpp"
+#include "support/cancel.hpp"
+#include "support/failpoint.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -192,8 +194,10 @@ sim::SimulationParams attack_params(const AttackSpec& attack) {
 }
 
 void run_workload_stage(WorkloadStore::Slot& slot, const WorkloadParams& params,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, const support::CancelToken& cancel) {
   try {
+    cancel.check("stage.workload");
+    support::failpoint::evaluate("stage.workload");
     support::Stopwatch watch;
     WorkloadParams seeded = params;
     seeded.seed = seed;  // the scenario seed is the cell's RNG stream
@@ -208,12 +212,14 @@ void run_workload_stage(WorkloadStore::Slot& slot, const WorkloadParams& params,
 }
 
 void run_problem_stage(ProblemStore::Slot& slot, WorkloadStore& workloads,
-                       std::size_t workload_slot, const std::string& recipe) {
+                       std::size_t workload_slot, const std::string& recipe,
+                       const support::CancelToken& cancel) {
   const WorkloadStore::Slot& parent = workloads.at(workload_slot);
   if (!parent.error.empty()) {
     slot.error = parent.error;
   } else {
     try {
+      cancel.check("stage.problem");
       support::Stopwatch watch;
       const std::shared_ptr<const WorkloadInstance> workload = parent.payload;
       // Aliased shared_ptr: the network pointer, the workload's lifetime.
@@ -230,18 +236,22 @@ void run_problem_stage(ProblemStore::Slot& slot, WorkloadStore& workloads,
 }
 
 void run_solve_stage(SolveStore::Slot& slot, ProblemStore& problems, std::size_t problem_slot,
-                     const ScenarioSpec& spec, bool parallel) {
+                     const ScenarioSpec& spec, bool parallel,
+                     const support::CancelToken& cancel) {
   const ProblemStore::Slot& parent = problems.at(problem_slot);
   if (!parent.error.empty()) {
     slot.error = parent.error;
   } else {
     try {
+      cancel.check("stage.solve");
+      support::failpoint::evaluate("stage.solve");
       support::Stopwatch watch;
       const std::shared_ptr<const ProblemArtifact> problem = parent.payload;
 
       core::OptimizeOptions options;
       options.solver = spec.solver;
       options.solve = spec.solve;
+      options.solve.cancel = cancel;
       options.decompose = spec.decompose;
       options.parallel = parallel;
 
@@ -250,6 +260,9 @@ void run_solve_stage(SolveStore::Slot& slot, ProblemStore& problems, std::size_t
       const core::Optimizer optimizer(
           std::shared_ptr<const core::Network>(problem, &problem->problem.network()));
       core::OptimizeOutcome outcome = optimizer.optimize_problem(problem->problem, options);
+      // Truncated artifacts are timing-dependent: cells sharing this slot
+      // would silently consume a partial solve, so fail the cell instead.
+      if (outcome.solve.truncated) cancel.check("stage.solve");
       ensure(outcome.assignment.complete(), "run_scenario",
              "solver returned an incomplete assignment");
 
@@ -271,12 +284,14 @@ void run_solve_stage(SolveStore::Slot& slot, ProblemStore& problems, std::size_t
 }
 
 void run_channels_stage(ChannelsStore::Slot& slot, SolveStore& solves, std::size_t solve_slot,
-                        const bayes::PropagationModel& model) {
+                        const bayes::PropagationModel& model,
+                        const support::CancelToken& cancel) {
   const SolveStore::Slot& parent = solves.at(solve_slot);
   if (!parent.error.empty()) {
     slot.error = parent.error;
   } else {
     try {
+      cancel.check("stage.channels");
       support::Stopwatch watch;
       // The channel pools only read the assignment during construction, so
       // they need no keepalive of the solve artifact afterwards.
@@ -293,17 +308,21 @@ void run_channels_stage(ChannelsStore::Slot& slot, SolveStore& solves, std::size
 /// The attack block's MTTC aggregation over the entry hosts —
 /// deterministic given the spec (historical per-entry seed formula).
 void run_attack_stage(AttackStore::Slot& slot, ChannelsStore& channels,
-                      std::size_t channels_slot, const AttackSpec& attack, bool parallel) {
+                      std::size_t channels_slot, const AttackSpec& attack, bool parallel,
+                      const support::CancelToken& cancel) {
   const ChannelsStore::Slot& parent = channels.at(channels_slot);
   if (!parent.error.empty()) {
     slot.error = parent.error;
   } else {
     try {
+      cancel.check("stage.attack");
       require(!attack.entries.empty(), "run_attack", "attack block needs at least one entry");
       require(attack.runs > 0, "run_attack", "attack block needs at least one run");
 
       support::Stopwatch watch;
-      const sim::CompiledPropagation propagation(parent.payload, attack_params(attack));
+      sim::SimulationParams params = attack_params(attack);
+      params.cancel = cancel;
+      const sim::CompiledPropagation propagation(parent.payload, params);
       double mean_sum = 0.0;
       double uncensored_sum = 0.0;
       std::size_t uncensored_runs = 0;
@@ -338,12 +357,14 @@ void run_attack_stage(AttackStore::Slot& slot, ChannelsStore& channels,
 /// deterministic given the spec (the sharded sampler is bit-identical at
 /// any thread count).
 void run_metric_stage(MetricStore::Slot& slot, SolveStore& solves, std::size_t solve_slot,
-                      const MetricsSpec& metrics, bool parallel) {
+                      const MetricsSpec& metrics, bool parallel,
+                      const support::CancelToken& cancel) {
   const SolveStore::Slot& parent = solves.at(solve_slot);
   if (!parent.error.empty()) {
     slot.error = parent.error;
   } else {
     try {
+      cancel.check("stage.metric");
       require(!metrics.entries.empty(), "run_metrics", "metrics block needs at least one entry");
       require(!metrics.targets.empty(), "run_metrics",
               "metrics block needs at least one target");
@@ -355,6 +376,7 @@ void run_metric_stage(MetricStore::Slot& slot, SolveStore& solves, std::size_t s
       inference.mc_samples = metrics.samples;
       inference.exact_max_edges = metrics.exact_max_edges;
       inference.parallel = parallel;
+      inference.cancel = cancel;
 
       double d_bn_sum = 0.0;
       double with_sum = 0.0;
@@ -560,7 +582,10 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
     if (fresh) {
       WorkloadStore::Slot& slot = workloads.at(cell.workload);
       workload_task.push_back(add_task(
-          [&slot, &spec] { run_workload_stage(slot, spec.workload, spec.seed); }, {}));
+          [&slot, &spec, this] {
+            run_workload_stage(slot, spec.workload, spec.seed, options_.cancel);
+          },
+          {}));
     }
 
     const ArtifactKey pkey = problem_key(wkey, spec);
@@ -569,8 +594,8 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
       workloads.add_consumer(cell.workload);
       ProblemStore::Slot& slot = problems.at(cell.problem);
       problem_task.push_back(add_task(
-          [&slot, &workloads, workload_slot = cell.workload, &spec] {
-            run_problem_stage(slot, workloads, workload_slot, spec.constraints);
+          [&slot, &workloads, workload_slot = cell.workload, &spec, this] {
+            run_problem_stage(slot, workloads, workload_slot, spec.constraints, options_.cancel);
           },
           {workload_task[cell.workload]}));
     }
@@ -581,8 +606,8 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
       problems.add_consumer(cell.problem);
       SolveStore::Slot& slot = solves.at(cell.solve);
       solve_task.push_back(add_task(
-          [&slot, &problems, problem_slot = cell.problem, &spec, parallel] {
-            run_solve_stage(slot, problems, problem_slot, spec, parallel);
+          [&slot, &problems, problem_slot = cell.problem, &spec, parallel, this] {
+            run_solve_stage(slot, problems, problem_slot, spec, parallel, options_.cancel);
           },
           {problem_task[cell.problem]}));
     }
@@ -604,8 +629,8 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
         solves.add_consumer(cell.solve);
         ChannelsStore::Slot& slot = channels.at(cell.channels);
         channels_task.push_back(add_task(
-            [&slot, &solves, solve_slot = cell.solve, model] {
-              run_channels_stage(slot, solves, solve_slot, model);
+            [&slot, &solves, solve_slot = cell.solve, model, this] {
+              run_channels_stage(slot, solves, solve_slot, model, options_.cancel);
             },
             {solve_task[cell.solve]}));
       }
@@ -616,8 +641,10 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
         channels.add_consumer(cell.channels);
         AttackStore::Slot& slot = attacks.at(cell.attack);
         attack_task.push_back(add_task(
-            [&slot, &channels, channels_slot = cell.channels, &attack = *spec.attack,
-             parallel] { run_attack_stage(slot, channels, channels_slot, attack, parallel); },
+            [&slot, &channels, channels_slot = cell.channels, &attack = *spec.attack, parallel,
+             this] {
+              run_attack_stage(slot, channels, channels_slot, attack, parallel, options_.cancel);
+            },
             {channels_task[cell.channels]}));
       }
       leaves.push_back(attack_task[cell.attack]);
@@ -630,8 +657,9 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
         solves.add_consumer(cell.solve);
         MetricStore::Slot& slot = metrics.at(cell.metric);
         metric_task.push_back(add_task(
-            [&slot, &solves, solve_slot = cell.solve, &metric_spec = *spec.metrics, parallel] {
-              run_metric_stage(slot, solves, solve_slot, metric_spec, parallel);
+            [&slot, &solves, solve_slot = cell.solve, &metric_spec = *spec.metrics, parallel,
+             this] {
+              run_metric_stage(slot, solves, solve_slot, metric_spec, parallel, options_.cancel);
             },
             {solve_task[cell.solve]}));
       }

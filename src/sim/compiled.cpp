@@ -271,6 +271,9 @@ MttcResult CompiledPropagation::mttc(core::HostId entry, core::HostId target, st
   std::vector<std::uint8_t> censored(runs, 0);
   const auto run_range = [&](std::size_t lo, std::size_t hi, SimState& state) {
     for (std::size_t r = lo; r < hi; ++r) {
+      // Per-run streams mean a cancel between runs never perturbs the
+      // draws of runs that did complete (determinism under cancellation).
+      params_.cancel.check("sim.mttc");
       // Independent deterministic stream per run — the historical formula,
       // so every chunking (and the sequential path) is bit-identical.
       support::Rng rng = support::stream_rng(seed, r);

@@ -78,6 +78,7 @@
 #include <vector>
 
 #include "bayes/propagation.hpp"
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 
 namespace icsdiv::sim {
@@ -102,6 +103,11 @@ struct SimulationParams {
   /// setting).  With an active defender the worm can be eradicated before
   /// reaching the target, so MTTC runs may censor at `max_ticks`.
   double detection_probability = 0.0;
+  /// Cooperative cancellation, polled between Monte-Carlo runs in mttc().
+  /// There is no meaningful partial MTTC estimate, so expiry throws
+  /// (DeadlineExceededError / CancelledError) instead of truncating.
+  /// Excluded from artifact keys: it never affects results.
+  support::CancelToken cancel;
 };
 
 struct RunResult {

@@ -1,0 +1,231 @@
+#include "support/failpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace icsdiv::support::failpoint {
+
+namespace {
+
+struct Site {
+  Config config;
+  std::uint64_t hits = 0;
+  std::size_t order = 0;  ///< arming order, for armed_sites()
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site, std::less<>> sites;
+  std::uint64_t seed = 0;
+  std::size_t next_order = 0;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+  // FNV-1a: stable across runs, so a site's draw stream depends only on
+  // its name and the configured seed.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Deterministic per-hit draw in [0, 1).
+double draw(std::uint64_t seed, std::string_view site, std::uint64_t hit) noexcept {
+  std::uint64_t state = seed ^ hash_name(site) ^ (hit * 0x9E3779B97F4A7C15ULL);
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+void skip_spaces(std::string_view& text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) text.remove_suffix(1);
+}
+
+double parse_number(std::string_view text, std::string_view what) {
+  skip_spaces(text);
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  require(ec == std::errc{} && end == text.data() + text.size(), "failpoint",
+          std::string("malformed ") + std::string(what) + " in failpoint spec");
+  return value;
+}
+
+/// Parses "error", "error(0.5)", "delay(20)", "delay(20,0.5)".
+Config parse_action(std::string_view text) {
+  skip_spaces(text);
+  std::string_view name = text;
+  std::string_view arguments;
+  const std::size_t open = text.find('(');
+  if (open != std::string_view::npos) {
+    require(text.back() == ')', "failpoint", "unterminated '(' in failpoint action");
+    name = text.substr(0, open);
+    arguments = text.substr(open + 1, text.size() - open - 2);
+  }
+  skip_spaces(name);
+
+  Config config;
+  if (name == "error") {
+    config.action = Action::Error;
+    if (!arguments.empty()) config.probability = parse_number(arguments, "probability");
+  } else if (name == "delay") {
+    config.action = Action::Delay;
+    require(!arguments.empty(), "failpoint", "delay requires a duration: delay(ms[,p])");
+    const std::size_t comma = arguments.find(',');
+    const std::string_view ms = arguments.substr(0, comma);
+    config.delay_ms = static_cast<std::int64_t>(parse_number(ms, "delay"));
+    require(config.delay_ms >= 0, "failpoint", "delay must be non-negative");
+    if (comma != std::string_view::npos) {
+      config.probability = parse_number(arguments.substr(comma + 1), "probability");
+    }
+  } else {
+    throw InvalidArgument("failpoint: unknown action '" + std::string(name) +
+                          "' (expected error or delay)");
+  }
+  require(config.probability >= 0.0 && config.probability <= 1.0, "failpoint",
+          "probability must be in [0, 1]");
+  return config;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void evaluate_slow(std::string_view site) {
+  Config config;
+  std::uint64_t seed = 0;
+  std::uint64_t hit = 0;
+  {
+    Registry& reg = registry();
+    const std::lock_guard lock(reg.mutex);
+    const auto found = reg.sites.find(site);
+    if (found == reg.sites.end()) return;
+    config = found->second.config;
+    seed = reg.seed;
+    hit = found->second.hits++;
+  }
+  if (config.probability < 1.0 && draw(seed, site, hit) >= config.probability) return;
+  switch (config.action) {
+    case Action::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.delay_ms));
+      return;
+    case Action::Error:
+      throw Error("failpoint " + std::string(site));
+  }
+}
+
+}  // namespace detail
+
+bool armed() noexcept { return detail::g_armed.load(std::memory_order_relaxed); }
+
+void arm(std::string_view site, const Config& config) {
+  require(!site.empty(), "failpoint::arm", "site name must not be empty");
+  require(config.probability >= 0.0 && config.probability <= 1.0, "failpoint::arm",
+          "probability must be in [0, 1]");
+  require(config.delay_ms >= 0, "failpoint::arm", "delay must be non-negative");
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  auto [slot, inserted] = reg.sites.try_emplace(std::string(site));
+  slot->second.config = config;
+  if (inserted) slot->second.order = reg.next_order++;
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm(std::string_view site) {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  const auto found = reg.sites.find(site);
+  if (found != reg.sites.end()) reg.sites.erase(found);
+  if (reg.sites.empty()) detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  reg.sites.clear();
+  reg.seed = 0;
+  reg.next_order = 0;
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+void set_seed(std::uint64_t seed) {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  reg.seed = seed;
+}
+
+void arm_from_spec(std::string_view spec) {
+  // Parse the whole spec before touching the registry, so a malformed
+  // entry can never leave it half-armed.
+  std::vector<std::pair<std::string, Config>> parsed;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+    skip_spaces(entry);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    require(eq != std::string_view::npos, "failpoint",
+            "failpoint spec entries must look like site=action");
+    std::string_view site = entry.substr(0, eq);
+    skip_spaces(site);
+    require(!site.empty(), "failpoint", "site name must not be empty");
+    parsed.emplace_back(std::string(site), parse_action(entry.substr(eq + 1)));
+  }
+  disarm_all();
+  for (const auto& [site, config] : parsed) arm(site, config);
+}
+
+bool arm_from_env() {
+  const char* spec = std::getenv("ICSDIV_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm_from_spec(spec);
+  if (const char* seed_text = std::getenv("ICSDIV_FAILPOINTS_SEED")) {
+    std::uint64_t seed = 0;
+    const auto [end, ec] =
+        std::from_chars(seed_text, seed_text + std::string_view(seed_text).size(), seed);
+    require(ec == std::errc{} && *end == '\0', "failpoint",
+            "ICSDIV_FAILPOINTS_SEED must be an unsigned integer");
+    set_seed(seed);
+  }
+  return armed();
+}
+
+std::uint64_t hits(std::string_view site) noexcept {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  const auto found = reg.sites.find(site);
+  return found == reg.sites.end() ? 0 : found->second.hits;
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& reg = registry();
+  const std::lock_guard lock(reg.mutex);
+  std::vector<std::pair<std::size_t, std::string>> ordered;
+  ordered.reserve(reg.sites.size());
+  for (const auto& [name, site] : reg.sites) ordered.emplace_back(site.order, name);
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> names;
+  names.reserve(ordered.size());
+  for (auto& [order, name] : ordered) names.push_back(std::move(name));
+  return names;
+}
+
+}  // namespace icsdiv::support::failpoint

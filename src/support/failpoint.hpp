@@ -1,0 +1,86 @@
+// Deterministic fault injection (DESIGN.md §11).
+//
+// A failpoint is a named site in production code — "socket.write",
+// "cache.insert", "stage.solve" — where a test or chaos harness can
+// inject a fault.  Sites are compiled in permanently and cost one
+// relaxed atomic load when nothing is armed; arming happens either
+// programmatically (tests) or via the ICSDIV_FAILPOINTS environment
+// variable (chaos harnesses), read once per arm_from_env() call:
+//
+//   ICSDIV_FAILPOINTS="socket.write=error(0.05);stage.solve=delay(20,0.5)"
+//   ICSDIV_FAILPOINTS_SEED=42
+//
+// Actions:
+//   error            — throw Error("failpoint <site>") on every hit
+//   error(p)         — throw with probability p
+//   delay(ms)        — sleep ms milliseconds on every hit
+//   delay(ms,p)      — sleep with probability p
+//
+// Probabilistic decisions are deterministic: each site owns a hit
+// counter, and hit k draws from splitmix64(seed ^ hash(site) ^ k), so a
+// run with a fixed seed injects the same faults regardless of thread
+// interleaving at *other* sites.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icsdiv::support::failpoint {
+
+enum class Action : std::uint8_t {
+  Error,  ///< throw icsdiv::Error at the site
+  Delay,  ///< sleep at the site
+};
+
+struct Config {
+  Action action = Action::Error;
+  double probability = 1.0;    ///< chance each hit fires, in [0, 1]
+  std::int64_t delay_ms = 0;   ///< sleep duration for Action::Delay
+};
+
+/// True when any site is armed.  The disarmed fast path in evaluate().
+[[nodiscard]] bool armed() noexcept;
+
+/// Arms `site` with `config`; replaces any previous arming of the site.
+/// Throws InvalidArgument for empty names or out-of-range probabilities.
+void arm(std::string_view site, const Config& config);
+
+/// Disarms one site (no-op when not armed).
+void disarm(std::string_view site);
+
+/// Disarms everything and resets hit counters and the seed.
+void disarm_all();
+
+/// Seeds the deterministic per-site draw streams (default 0).
+void set_seed(std::uint64_t seed);
+
+/// Parses an ICSDIV_FAILPOINTS-style spec ("site=action;site=action").
+/// Throws InvalidArgument on malformed specs.  An empty spec disarms all.
+void arm_from_spec(std::string_view spec);
+
+/// Reads ICSDIV_FAILPOINTS / ICSDIV_FAILPOINTS_SEED from the
+/// environment; returns true when a non-empty spec armed anything.
+bool arm_from_env();
+
+/// Times this process hit `site` while it was armed (fired or not).
+[[nodiscard]] std::uint64_t hits(std::string_view site) noexcept;
+
+/// Names of all currently armed sites, in arming order.
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+namespace detail {
+void evaluate_slow(std::string_view site);
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// The per-site hook: call failpoint::evaluate("socket.write") at the
+/// site.  Disarmed cost: one relaxed load and a predictable branch.
+inline void evaluate(std::string_view site) {
+  if (!detail::g_armed.load(std::memory_order_relaxed)) return;
+  detail::evaluate_slow(site);
+}
+
+}  // namespace icsdiv::support::failpoint

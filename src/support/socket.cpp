@@ -1,6 +1,7 @@
 #include "support/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 #include <cstring>
 
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 
 namespace icsdiv::support {
 
@@ -104,6 +106,7 @@ Socket::Wait Socket::wait_readable(int timeout_ms) const {
 }
 
 std::size_t Socket::read_some(char* data, std::size_t size) const {
+  failpoint::evaluate("socket.read");
   while (true) {
     const ssize_t count = ::recv(fd_, data, size, 0);
     if (count >= 0) return static_cast<std::size_t>(count);
@@ -112,7 +115,20 @@ std::size_t Socket::read_some(char* data, std::size_t size) const {
   }
 }
 
+void Socket::read_exact(char* data, std::size_t size) const {
+  std::size_t filled = 0;
+  while (filled < size) {
+    const std::size_t count = read_some(data + filled, size - filled);
+    if (count == 0) {
+      throw Error("unexpected EOF: peer closed after " + std::to_string(filled) + " of " +
+                  std::to_string(size) + " bytes");
+    }
+    filled += count;
+  }
+}
+
 void Socket::write_all(std::string_view data) const {
+  failpoint::evaluate("socket.write");
   std::size_t written = 0;
   while (written < data.size()) {
     const ssize_t count =
@@ -136,19 +152,64 @@ void Socket::close() noexcept {
   }
 }
 
-Socket Socket::connect(const Endpoint& endpoint) {
+Socket Socket::connect(const Endpoint& endpoint, int timeout_ms) {
   Socket socket(open_socket(endpoint.kind));
-  int result = 0;
+
+  sockaddr_storage storage{};
+  socklen_t length = 0;
   if (endpoint.kind == Endpoint::Kind::Unix) {
     const sockaddr_un address = unix_address(endpoint.path);
-    result = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    std::memcpy(&storage, &address, sizeof(address));
+    length = sizeof(address);
   } else {
     const sockaddr_in address = tcp_address(endpoint.host, endpoint.port);
-    result = ::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    std::memcpy(&storage, &address, sizeof(address));
+    length = sizeof(address);
   }
-  if (result != 0) {
-    throw NotFound("cannot connect to " + endpoint.to_string() + ": " + std::strerror(errno));
+  const auto* raw = reinterpret_cast<const sockaddr*>(&storage);
+
+  if (timeout_ms <= 0) {
+    if (::connect(socket.fd(), raw, length) != 0) {
+      throw NotFound("cannot connect to " + endpoint.to_string() + ": " + std::strerror(errno));
+    }
+    return socket;
   }
+
+  // Bounded connect: start it non-blocking, poll for writability, read the
+  // outcome from SO_ERROR, then restore the blocking mode the rest of the
+  // Socket API expects.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl");
+  }
+  if (::connect(socket.fd(), raw, length) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw NotFound("cannot connect to " + endpoint.to_string() + ": " + std::strerror(errno));
+    }
+    pollfd poller{socket.fd(), POLLOUT, 0};
+    while (true) {
+      const int ready = ::poll(&poller, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll");
+      }
+      if (ready == 0) {
+        throw NotFound("connect to " + endpoint.to_string() + " timed out after " +
+                       std::to_string(timeout_ms) + "ms");
+      }
+      break;
+    }
+    int error = 0;
+    socklen_t error_length = sizeof(error);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &error, &error_length) != 0) {
+      throw_errno("getsockopt");
+    }
+    if (error != 0) {
+      throw NotFound("cannot connect to " + endpoint.to_string() + ": " +
+                     std::strerror(error));
+    }
+  }
+  if (::fcntl(socket.fd(), F_SETFL, flags) != 0) throw_errno("fcntl");
   return socket;
 }
 

@@ -51,7 +51,11 @@ class Socket {
   /// One read; returns bytes read, 0 on orderly EOF.  Throws on error.
   [[nodiscard]] std::size_t read_some(char* data, std::size_t size) const;
 
-  /// Writes the whole buffer or throws.
+  /// Reads exactly `size` bytes, looping over short recvs.  Throws Error
+  /// on EOF before the buffer fills (a truncated stream) and on errors.
+  void read_exact(char* data, std::size_t size) const;
+
+  /// Writes the whole buffer, looping over short sends, or throws.
   void write_all(std::string_view data) const;
 
   /// Half-close: the peer's next read returns EOF, our reads drain what
@@ -61,7 +65,10 @@ class Socket {
   void close() noexcept;
 
   /// Connects to an endpoint (throws NotFound when nothing listens).
-  [[nodiscard]] static Socket connect(const Endpoint& endpoint);
+  /// `timeout_ms` > 0 bounds the connect itself (non-blocking connect +
+  /// poll; a firewalled or dead-routed peer otherwise blocks for the
+  /// kernel's SYN-retry budget, minutes); 0 keeps the blocking behaviour.
+  [[nodiscard]] static Socket connect(const Endpoint& endpoint, int timeout_ms = 0);
 
  private:
   int fd_ = -1;

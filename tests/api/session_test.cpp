@@ -15,7 +15,9 @@
 
 #include "core/serialization.hpp"
 #include "runner/workload.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 
 namespace icsdiv::api {
 namespace {
@@ -268,6 +270,135 @@ TEST(AdmissionGate, QueuesUpToLimitThenRejects) {
   EXPECT_TRUE(queued_done.load());
   EXPECT_EQ(gate.running(), 0u);
   EXPECT_EQ(gate.queued(), 0u);
+}
+
+/// Deadline tests lean on failpoint delays to make "the compute is slow"
+/// deterministic; the registry is global, so always leave it clean.
+class SessionDeadline : public ::testing::Test {
+ protected:
+  void TearDown() override { support::failpoint::disarm_all(); }
+};
+
+TEST_F(SessionDeadline, OptimizeDeadlineReturnsTruncatedBestSoFarAndSkipsTheCache) {
+  // Hold the compute past the request deadline before the solver starts:
+  // ICM's first cancellation check sees an expired token and returns the
+  // initial labels tagged truncated instead of throwing.
+  support::failpoint::arm("session.compute", {support::failpoint::Action::Delay, 1.0, 60});
+  const Documents documents = make_documents(8);
+  Session session;
+  OptimizeRequest request = optimize_request(documents);
+  request.timeout_ms = 20;
+
+  const auto truncated = std::get<OptimizeResponse>(session.execute(request));
+  EXPECT_TRUE(truncated.truncated);
+  EXPECT_FALSE(truncated.cached);
+  EXPECT_FALSE(truncated.assignment.dump().empty());  // best-so-far, not empty
+  EXPECT_EQ(session.status().requests_failed, 0u);    // truncation is a success
+
+  // Truncated values are timing artifacts and must never be served from
+  // cache: the same solve re-executes and this time completes.
+  support::failpoint::disarm_all();
+  request.timeout_ms = 0;
+  const auto full = std::get<OptimizeResponse>(session.execute(request));
+  EXPECT_FALSE(full.cached);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(session.status().solve_cache.executed, 2u);
+}
+
+TEST_F(SessionDeadline, BatchDeadlineSurfacesAsDeadlineExceededAndIsNotCached) {
+  SessionOptions options;
+  // Per-cell hook sleeps past the deadline, so the report would be built
+  // under an expired token — the session must refuse to cache it.
+  options.on_batch_result = [](const runner::ScenarioResult&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  };
+  Session session(options);
+  BatchRequest batch;
+  batch.grid = support::Json::parse(R"({
+    "name": "deadline-batch", "hosts": [8], "degrees": [3], "services": [2],
+    "products_per_service": [2], "solvers": ["icm"], "constraints": ["none"],
+    "seeds": [1], "max_iterations": 10, "tolerance": 1e-6
+  })");
+  batch.threads = 1;
+  batch.timeout_ms = 40;
+  EXPECT_THROW((void)session.execute(batch), DeadlineExceededError);
+
+  const StatusResponse status = session.status();
+  EXPECT_EQ(status.requests_failed, 1u);
+  EXPECT_EQ(status.requests_deadline, 1u);
+  EXPECT_EQ(status.requests_admitted, 1u);
+
+  // Same grid without the deadline: re-executed from scratch, succeeds.
+  batch.timeout_ms = 0;
+  EXPECT_EQ(std::get<BatchResponse>(session.execute(batch)).failed, 0u);
+  EXPECT_EQ(session.status().requests_admitted, 2u);
+}
+
+TEST_F(SessionDeadline, CoalescedWaiterLeavesAtItsDeadlineWithoutKillingTheCompute) {
+  support::failpoint::arm("session.compute", {support::failpoint::Action::Delay, 1.0, 150});
+  const Documents documents = make_documents(8);
+  SessionOptions options;
+  options.max_concurrent = 4;  // both callers must be *executing* to coalesce
+  Session session(options);
+  const Request patient_request = optimize_request(documents);
+  auto patient = std::async(std::launch::async, [&] {
+    return std::get<OptimizeResponse>(session.execute(patient_request));
+  });
+  // Join only once the patient request's compute is in flight.
+  while (session.status().solve_cache.planned == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The impatient caller coalesces onto the same entry, then leaves at its
+  // own deadline.  The entry token stays at the max over participants
+  // (the patient has none), so the shared compute keeps running.
+  OptimizeRequest impatient = optimize_request(documents);
+  impatient.timeout_ms = 40;
+  EXPECT_THROW((void)session.execute(impatient), DeadlineExceededError);
+
+  const OptimizeResponse response = patient.get();
+  EXPECT_FALSE(response.truncated);
+  EXPECT_FALSE(response.cached);
+
+  const StatusResponse status = session.status();
+  EXPECT_EQ(status.solve_cache.planned, 2u);
+  EXPECT_EQ(status.solve_cache.executed, 1u);
+  EXPECT_EQ(status.requests_deadline, 1u);
+
+  // The completed value was cached despite the abandoned waiter.
+  impatient.timeout_ms = 0;
+  EXPECT_TRUE(std::get<OptimizeResponse>(session.execute(impatient)).cached);
+}
+
+TEST(AdmissionGate, QueueWaitersExpireAtTheirDeadline) {
+  AdmissionGate gate(1, 1, 0.5);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> holding{false};
+  auto holder = std::async(std::launch::async, [&] {
+    const AdmissionGate::Ticket ticket = gate.admit();
+    holding.store(true);
+    released.wait();
+  });
+  while (!holding.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Queue wait counts against the deadline: the waiter leaves on its own.
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)gate.admit(support::CancelToken::after_ms(50)),
+               DeadlineExceededError);
+  EXPECT_GE(std::chrono::steady_clock::now() - started, std::chrono::milliseconds(40));
+  EXPECT_EQ(gate.queued(), 0u);  // the abandoned waiter rolled back its slot
+
+  // An already-expired token is rejected before touching the queue.
+  EXPECT_THROW((void)gate.admit(support::CancelToken::with_deadline(
+                   support::CancelToken::Clock::now() - std::chrono::milliseconds(1))),
+               DeadlineExceededError);
+
+  release.set_value();
+  holder.get();
+  const AdmissionGate::Ticket ticket = gate.admit();  // the slot is free again
+  EXPECT_EQ(gate.running(), 1u);
+  EXPECT_EQ(gate.admitted_total(), 2u);  // holder + this ticket; expired waiters don't count
 }
 
 TEST(Session, FailedComputationsAreNotCached) {

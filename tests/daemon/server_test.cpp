@@ -18,10 +18,13 @@
 #include <thread>
 #include <vector>
 
+#include "api/status.hpp"
 #include "core/serialization.hpp"
 #include "daemon/client.hpp"
 #include "runner/workload.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
+#include "support/stopwatch.hpp"
 
 namespace icsdiv::daemon {
 namespace {
@@ -182,6 +185,162 @@ TEST(DaemonServer, ShutdownDrainsInFlightRequests) {
   EXPECT_EQ(response.cells, 1u);
   EXPECT_EQ(response.failed, 0u);
   EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+/// Tests that arm the (process-global) failpoint registry.
+class DaemonDeadline : public ::testing::Test {
+ protected:
+  void TearDown() override { support::failpoint::disarm_all(); }
+};
+
+TEST_F(DaemonDeadline, TimedOutOptimizeReturnsPromptlyAndFreesTheWorkerSlot) {
+  const std::string socket_path = unique_socket_path("deadline");
+  Server server(unix_options(socket_path));
+  server.start();
+
+  // Hold the compute past the deadline before the solver's first
+  // cancellation check: without the 100ms budget this request would grind
+  // through five million sweeps.
+  support::failpoint::arm("session.compute", {support::failpoint::Action::Delay, 1.0, 120});
+  api::OptimizeRequest slow = small_optimize_request();
+  slow.max_iterations = 5'000'000;
+  slow.timeout_ms = 100;
+
+  Client client = Client::connect(server.endpoint());
+  const support::Stopwatch watch;
+  const auto reply = std::get<api::OptimizeResponse>(client.call(slow));
+  EXPECT_TRUE(reply.truncated) << "deadline must surface as a truncated best-so-far";
+  EXPECT_LT(watch.seconds(), 2.0) << "the reply must arrive near the deadline, not the solve";
+  support::failpoint::disarm_all();
+
+  // The worker slot is free again: an ordinary request completes.
+  const auto follow_up =
+      std::get<api::OptimizeResponse>(client.call(small_optimize_request()));
+  EXPECT_FALSE(follow_up.truncated);
+  const api::StatusResponse status = server.session().status();
+  EXPECT_EQ(status.requests_admitted, 2u);
+  EXPECT_EQ(status.in_flight, 0u);
+  server.shutdown();
+}
+
+TEST(DaemonClient, RetriesSaturationWithBackoffAndHonoursTheHint) {
+  const std::string socket_path = unique_socket_path("retry");
+  ServerOptions options = unix_options(socket_path);
+  options.session.max_concurrent = 1;
+  options.session.max_queued = 0;
+  options.session.retry_after_seconds = 0.03;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> blocking{false};
+  options.session.on_batch_result = [&](const runner::ScenarioResult&) {
+    blocking.store(true);
+    released.wait();
+  };
+  Server server(std::move(options));
+  server.start();
+
+  auto occupant = std::async(std::launch::async, [&] {
+    Client client = Client::connect(support::Endpoint::parse("unix:" + socket_path));
+    api::BatchRequest batch;
+    batch.grid = support::Json::parse(R"({
+      "name": "occupy", "hosts": [8], "degrees": [3], "services": [2],
+      "products_per_service": [2], "solvers": ["icm"], "constraints": ["none"],
+      "seeds": [1], "max_iterations": 10, "tolerance": 1e-6
+    })");
+    batch.threads = 1;
+    return std::get<api::BatchResponse>(client.call(batch));
+  });
+  while (!blocking.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // A single-attempt client surfaces the rejection with the server's hint.
+  Client impatient = Client::connect(server.endpoint());
+  try {
+    (void)impatient.call(small_optimize_request());
+    FAIL() << "expected SaturatedError while the slot is held";
+  } catch (const api::SaturatedError& error) {
+    EXPECT_DOUBLE_EQ(error.retry_after_seconds(), 0.03);
+  }
+
+  // A retrying client rides the backoff through the busy window.
+  ClientOptions retry_options;
+  retry_options.max_attempts = 6;
+  retry_options.backoff_base_seconds = 0.03;
+  retry_options.backoff_max_seconds = 0.2;
+  Client patient = Client::connect(server.endpoint(), retry_options);
+  auto releaser = std::async(std::launch::async, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    release.set_value();
+  });
+  const auto reply = std::get<api::OptimizeResponse>(patient.call(small_optimize_request()));
+  EXPECT_FALSE(reply.assignment.dump().empty());
+  releaser.get();
+  EXPECT_EQ(occupant.get().failed, 0u);
+  server.shutdown();
+}
+
+TEST(DaemonClient, ReconnectsAcrossAServerRestart) {
+  const std::string socket_path = unique_socket_path("reconnect");
+  auto first = std::make_unique<Server>(unix_options(socket_path));
+  first->start();
+
+  ClientOptions options;
+  options.max_attempts = 4;
+  options.backoff_base_seconds = 0.01;
+  options.backoff_max_seconds = 0.05;
+  Client client = Client::connect(support::Endpoint::parse("unix:" + socket_path), options);
+  EXPECT_EQ(std::get<api::VersionResponse>(client.call(api::VersionRequest{})).protocol,
+            api::kProtocolVersion);
+
+  first->shutdown();
+  first.reset();
+  Server second(unix_options(socket_path));
+  second.start();
+
+  // The established connection died with the first server; the retry
+  // policy reconnects to its successor transparently.
+  EXPECT_EQ(std::get<api::VersionResponse>(client.call(api::VersionRequest{})).protocol,
+            api::kProtocolVersion);
+  second.shutdown();
+
+  // With the successor gone too, a single-attempt exchange surfaces the
+  // transport failure instead of hanging.
+  ClientOptions one_shot;
+  one_shot.max_attempts = 1;
+  EXPECT_THROW((void)client.call(api::VersionRequest{}), Error);
+}
+
+TEST(DaemonClient, ReadTimeoutSurfacesAsDeadlineExceededAndNeverRetries) {
+  const std::string socket_path = unique_socket_path("read_timeout");
+  ServerOptions options = unix_options(socket_path);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> blocking{false};
+  options.session.on_batch_result = [&](const runner::ScenarioResult&) {
+    blocking.store(true);
+    released.wait();
+  };
+  Server server(std::move(options));
+  server.start();
+
+  ClientOptions client_options;
+  client_options.read_timeout_ms = 60;
+  client_options.max_attempts = 5;  // must be ignored: a retry could double-execute
+  Client client = Client::connect(server.endpoint(), client_options);
+  api::BatchRequest batch;
+  batch.grid = support::Json::parse(R"({
+    "name": "slow-reply", "hosts": [8], "degrees": [3], "services": [2],
+    "products_per_service": [2], "solvers": ["icm"], "constraints": ["none"],
+    "seeds": [1], "max_iterations": 10, "tolerance": 1e-6
+  })");
+  batch.threads = 1;
+  const support::Stopwatch watch;
+  EXPECT_THROW((void)client.call(batch), DeadlineExceededError);
+  // One timeout window, not five: the client gave up, it did not retry.
+  EXPECT_LT(watch.seconds(), 0.25);
+
+  while (!blocking.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  release.set_value();
+  server.shutdown();  // drains the abandoned batch; its reply write may fail, harmlessly
 }
 
 TEST(DaemonServer, StaleSocketFileIsReclaimed) {

@@ -1,0 +1,117 @@
+// Failpoint registry: arming, spec parsing, deterministic probabilistic
+// draws, and the zero-cost disarmed path (DESIGN.md §11).
+#include "support/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace icsdiv::support::failpoint {
+namespace {
+
+/// Every test starts and ends with a clean registry: the registry is
+/// process-global, so leaks would couple unrelated tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesAreFreeAndSilent) {
+  EXPECT_FALSE(armed());
+  EXPECT_NO_THROW(evaluate("socket.write"));
+  EXPECT_EQ(hits("socket.write"), 0u);
+  EXPECT_TRUE(armed_sites().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsAndNamesTheSite) {
+  arm("cache.insert", {Action::Error, 1.0, 0});
+  EXPECT_TRUE(armed());
+  try {
+    evaluate("cache.insert");
+    FAIL() << "armed error site must throw";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("cache.insert"), std::string::npos);
+  }
+  EXPECT_EQ(hits("cache.insert"), 1u);
+  // Unarmed sites stay silent even while the registry is hot.
+  EXPECT_NO_THROW(evaluate("socket.read"));
+}
+
+TEST_F(FailpointTest, DisarmRestoresTheSite) {
+  arm("stage.solve", {Action::Error, 1.0, 0});
+  EXPECT_THROW(evaluate("stage.solve"), Error);
+  disarm("stage.solve");
+  EXPECT_NO_THROW(evaluate("stage.solve"));
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  arm("socket.write", {Action::Delay, 1.0, 30});
+  const Stopwatch watch;
+  evaluate("socket.write");
+  EXPECT_GE(watch.seconds(), 0.025);
+}
+
+TEST_F(FailpointTest, ProbabilisticDrawsAreDeterministicPerSeed) {
+  const auto fire_pattern = [](std::uint64_t seed) {
+    disarm_all();
+    set_seed(seed);
+    arm("session.compute", {Action::Error, 0.5, 0});
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        evaluate("session.compute");
+        fired.push_back(false);
+      } catch (const Error&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const std::vector<bool> first = fire_pattern(42);
+  const std::vector<bool> second = fire_pattern(42);
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 hits: both outcomes must occur (probability of a
+  // degenerate all-same pattern under a working RNG is 2^-63).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+  const std::vector<bool> other_seed = fire_pattern(43);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST_F(FailpointTest, SpecGrammarRoundTrips) {
+  arm_from_spec("socket.write=error(0.25);stage.solve=delay(10,0.5);cache.insert=error");
+  const std::vector<std::string> sites = armed_sites();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0], "socket.write");
+  EXPECT_EQ(sites[1], "stage.solve");
+  EXPECT_EQ(sites[2], "cache.insert");
+  // An empty spec disarms everything.
+  arm_from_spec("");
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejected) {
+  EXPECT_THROW(arm_from_spec("site-without-action"), InvalidArgument);
+  EXPECT_THROW(arm_from_spec("x=explode"), InvalidArgument);
+  EXPECT_THROW(arm_from_spec("x=error(1.5)"), InvalidArgument);
+  EXPECT_THROW(arm_from_spec("x=delay"), InvalidArgument);
+  EXPECT_THROW(arm_from_spec("=error"), InvalidArgument);
+  // A bad spec must not leave the registry half-armed.
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, ArmValidatesProbability) {
+  EXPECT_THROW(arm("x", {Action::Error, -0.1, 0}), InvalidArgument);
+  EXPECT_THROW(arm("x", {Action::Error, 1.1, 0}), InvalidArgument);
+  EXPECT_THROW(arm("", {Action::Error, 1.0, 0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace icsdiv::support::failpoint

@@ -1,0 +1,151 @@
+// Socket::read_exact / write_all under partial I/O, and the frame
+// decoder over a real byte stream (DESIGN.md §10, §11).
+//
+// Uses socketpair(AF_UNIX) so both ends live in-process: the writer side
+// can dribble bytes, close mid-frame, or stall, and the reader side's
+// behaviour is pinned without any daemon or port in the picture.
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "support/error.hpp"
+#include "support/socket.hpp"
+
+namespace icsdiv::support {
+namespace {
+
+/// A connected in-process socket pair (reader, writer).
+std::pair<Socket, Socket> make_pair() {
+  int fds[2] = {-1, -1};
+  const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+  EXPECT_EQ(rc, 0) << "socketpair failed: " << std::strerror(errno);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+TEST(SocketFramingTest, ReadExactReassemblesDribbledBytes) {
+  auto [reader, writer] = make_pair();
+  const std::string message = "length-prefixed frames survive arbitrary segmentation";
+
+  // Dribble one byte at a time from another thread: every read_some on
+  // the reader side sees a short recv, so read_exact must loop.
+  std::thread dribble([&writer, &message] {
+    for (const char c : message) {
+      writer.write_all(std::string_view(&c, 1));
+      std::this_thread::yield();
+    }
+  });
+  std::string received(message.size(), '\0');
+  reader.read_exact(received.data(), received.size());
+  dribble.join();
+  EXPECT_EQ(received, message);
+}
+
+TEST(SocketFramingTest, ReadExactReportsEofMidBuffer) {
+  auto [reader, writer] = make_pair();
+  writer.write_all("abc");
+  writer.close();  // peer vanishes after 3 of 8 bytes
+
+  char buffer[8] = {};
+  try {
+    reader.read_exact(buffer, sizeof(buffer));
+    FAIL() << "read_exact must throw on EOF before the buffer fills";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unexpected EOF"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 of 8"), std::string::npos) << what;
+  }
+}
+
+TEST(SocketFramingTest, WriteAllPushesLargeBufferThroughSmallKernelWindow) {
+  auto [reader, writer] = make_pair();
+  // Shrink the send buffer so a large write cannot complete in one send
+  // and write_all has to loop over short sends while the reader drains.
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(writer.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)), 0);
+
+  std::string big(1u << 20, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>('a' + i % 26);
+
+  std::thread sender([&writer, &big] {
+    writer.write_all(big);
+    writer.close();
+  });
+  std::string received;
+  received.reserve(big.size());
+  char chunk[8192];
+  while (true) {
+    const std::size_t count = reader.read_some(chunk, sizeof(chunk));
+    if (count == 0) break;
+    received.append(chunk, count);
+  }
+  sender.join();
+  EXPECT_EQ(received, big);
+}
+
+TEST(SocketFramingTest, FrameDecoderYieldsPayloadsFromByteAtATimeFeeds) {
+  const std::string first = daemon::encode_frame(R"({"request":"status"})");
+  const std::string second = daemon::encode_frame(R"({"request":"version"})");
+  const std::string stream = first + second;
+
+  daemon::FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  for (const char c : stream) {
+    decoder.feed(std::string_view(&c, 1));
+    while (auto payload = decoder.next()) payloads.push_back(std::move(*payload));
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], R"({"request":"status"})");
+  EXPECT_EQ(payloads[1], R"({"request":"version"})");
+  EXPECT_TRUE(decoder.idle());
+}
+
+TEST(SocketFramingTest, FrameRoundTripsAcrossTheSocketInSplitWrites) {
+  auto [reader, writer] = make_pair();
+  const std::string frame = daemon::encode_frame(R"({"request":"status","id":"rt"})");
+
+  // Split the frame inside the length prefix and inside the payload —
+  // the two places a naive reader breaks.
+  writer.write_all(frame.substr(0, 2));
+  writer.write_all(frame.substr(2, 7));
+  writer.write_all(frame.substr(9));
+
+  daemon::FrameDecoder decoder;
+  std::optional<std::string> payload;
+  char chunk[64];
+  while (!payload) {
+    const std::size_t count = reader.read_some(chunk, sizeof(chunk));
+    ASSERT_GT(count, 0u) << "stream ended before the frame completed";
+    decoder.feed(std::string_view(chunk, count));
+    payload = decoder.next();
+  }
+  EXPECT_EQ(*payload, R"({"request":"status","id":"rt"})");
+}
+
+TEST(SocketFramingTest, EofMidFrameLeavesDecoderNonIdle) {
+  auto [reader, writer] = make_pair();
+  const std::string frame = daemon::encode_frame(R"({"request":"status"})");
+  writer.write_all(frame.substr(0, frame.size() - 3));
+  writer.close();
+
+  daemon::FrameDecoder decoder;
+  char chunk[64];
+  while (true) {
+    const std::size_t count = reader.read_some(chunk, sizeof(chunk));
+    if (count == 0) break;
+    decoder.feed(std::string_view(chunk, count));
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.idle()) << "EOF mid-frame must be distinguishable from a clean close";
+}
+
+}  // namespace
+}  // namespace icsdiv::support

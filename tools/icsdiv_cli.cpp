@@ -10,6 +10,7 @@
 //
 //   icsdiv_cli optimize  --catalog c.json --network n.json [--out a.json]
 //                        [--solver NAME]   (any mrf::SolverRegistry name)
+//                        [--max-iterations N]
 //   icsdiv_cli evaluate  --catalog c.json --network n.json --assignment a.json
 //                        [--entry HOST --target HOST]
 //   icsdiv_cli report    --catalog c.json --network n.json --assignment a.json
@@ -18,9 +19,15 @@
 //                        [--threads N]
 //   icsdiv_cli version
 //
+// Every compute command accepts `--timeout-ms N`, a wall-clock deadline
+// enforced by the session (DESIGN.md §11): optimize returns the best
+// assignment seen so far tagged `truncated`; other commands fail with
+// deadline_exceeded (exit 10).
+//
 // Exit codes follow the stable api::StatusCode mapping (status.hpp):
 // 0 ok, 2 invalid argument, 3 parse error, 4 not found, 5 infeasible,
-// 6 logic error, 8 partial batch failure, 9 internal.
+// 6 logic error, 8 partial batch failure, 9 internal, 10 deadline
+// exceeded, 11 cancelled.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -87,16 +94,24 @@ std::string option_or(const Arguments& args, const std::string& name, std::strin
   return it != args.options.end() ? it->second : std::move(fallback);
 }
 
-std::size_t parse_threads(const std::string& value) {
+std::size_t parse_count(const std::string& flag, const std::string& value) {
   // Digits only: stoull alone would accept (and wrap) "-1".
   if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
-    throw InvalidArgument("bad --threads value: " + value);
+    throw InvalidArgument("bad " + flag + " value: " + value);
   }
   try {
     return std::stoull(value);
   } catch (const std::out_of_range&) {
-    throw InvalidArgument("bad --threads value: " + value);
+    throw InvalidArgument("bad " + flag + " value: " + value);
   }
+}
+
+std::size_t parse_threads(const std::string& value) { return parse_count("--threads", value); }
+
+std::int64_t parse_timeout_ms(const Arguments& args) {
+  const auto it = args.options.find("timeout-ms");
+  if (it == args.options.end()) return 0;
+  return static_cast<std::int64_t>(parse_count("--timeout-ms", it->second));
 }
 
 // ---------------------------------------------------------------------------
@@ -108,6 +123,10 @@ api::Request build_request(const Arguments& args) {
     request.catalog = read_json(args, "catalog");
     request.network = read_json(args, "network");
     request.solver = option_or(args, "solver");
+    if (const auto it = args.options.find("max-iterations"); it != args.options.end()) {
+      request.max_iterations = parse_count("--max-iterations", it->second);
+    }
+    request.timeout_ms = parse_timeout_ms(args);
     return request;
   }
   if (args.command == "evaluate") {
@@ -120,6 +139,7 @@ api::Request build_request(const Arguments& args) {
     if (request.entry.empty() != request.target.empty()) {
       throw InvalidArgument("evaluate needs both --entry and --target, or neither");
     }
+    request.timeout_ms = parse_timeout_ms(args);
     return request;
   }
   if (args.command == "report") {
@@ -127,6 +147,7 @@ api::Request build_request(const Arguments& args) {
     request.catalog = read_json(args, "catalog");
     request.network = read_json(args, "network");
     request.assignment = read_json(args, "assignment");
+    request.timeout_ms = parse_timeout_ms(args);
     return request;
   }
   if (args.command == "similarity") {
@@ -136,6 +157,7 @@ api::Request build_request(const Arguments& args) {
     api::SimilarityRequest request;
     request.feed = read_json(args, "feed");
     request.cpes = args.repeated_cpes;
+    request.timeout_ms = parse_timeout_ms(args);
     return request;
   }
   if (args.command == "batch") {
@@ -144,6 +166,7 @@ api::Request build_request(const Arguments& args) {
     if (const auto it = args.options.find("threads"); it != args.options.end()) {
       request.threads = parse_threads(it->second);
     }
+    request.timeout_ms = parse_timeout_ms(args);
     return request;
   }
   if (args.command == "version") return api::VersionRequest{};
@@ -181,7 +204,9 @@ void write_output_files(const Arguments& args, const api::Response& response) {
 
 int render_optimize(const Arguments& args, const api::OptimizeResponse& response) {
   std::cerr << "energy " << response.energy << ", pairwise similarity "
-            << response.pairwise_similarity << ", " << response.iterations << " iterations\n";
+            << response.pairwise_similarity << ", " << response.iterations << " iterations";
+  if (response.truncated) std::cerr << " (truncated: deadline hit, best-so-far)";
+  std::cerr << "\n";
   if (args.options.find("out") == args.options.end()) {
     std::cout << response.assignment.dump_pretty();
   }
@@ -374,7 +399,8 @@ void print_usage() {
   std::cerr << "usage: icsdiv_cli <command> [flags] [--format text|json]\n\ncommands:\n"
             << "  optimize    --catalog FILE --network FILE [--out FILE] [--solver "
             << mrf::SolverRegistry::instance().names_joined() << "]\n"
-            << R"(  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
+            << R"(              [--max-iterations N]
+  evaluate    --catalog FILE --network FILE --assignment FILE [--entry HOST --target HOST]
   report      --catalog FILE --network FILE --assignment FILE
   similarity  --feed FILE --cpe QUERY --cpe QUERY [--cpe QUERY ...]
   batch       --grid FILE [--csv FILE] [--json FILE] [--threads N]
@@ -382,6 +408,10 @@ void print_usage() {
                "metrics" block — d_bn entry/target sweeps; reports then
                add mttc_* and d_bn_*/p_with/p_without columns)
   version     (protocol handshake, registered solvers and recipes)
+
+Every compute command also accepts --timeout-ms N (wall-clock deadline;
+optimize returns its best-so-far assignment tagged "truncated", other
+commands fail with deadline_exceeded).
 
 --format json prints the icsdivd wire envelope (machine-readable,
 errors included) instead of tables.

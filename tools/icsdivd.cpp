@@ -12,6 +12,11 @@
 // Flags: --max-connections N, --idle-timeout SECONDS, --max-concurrent N,
 // --max-queue N, --retry-after SECONDS.
 //
+// Fault injection: setting ICSDIV_FAILPOINTS (e.g.
+// "socket.write=error(0.05);stage.solve=delay(20,0.5)") arms the
+// support::failpoint registry at startup — chaos testing only, see
+// DESIGN.md §11; ICSDIV_FAILPOINTS_SEED makes the draws reproducible.
+//
 // SIGTERM/SIGINT trigger a graceful shutdown: in-flight requests finish
 // and their responses are written, every thread is joined, the socket
 // file is unlinked, and the process exits 0.
@@ -22,6 +27,7 @@
 
 #include "api/status.hpp"
 #include "daemon/server.hpp"
+#include "support/failpoint.hpp"
 #include "support/signals.hpp"
 
 namespace {
@@ -98,6 +104,10 @@ int main(int argc, char** argv) {
     // never to a worker; peer-dropped writes report errors, not SIGPIPE.
     support::ignore_sigpipe();
     support::block_signals({SIGINT, SIGTERM});
+
+    if (support::failpoint::arm_from_env()) {
+      std::cerr << "icsdivd: fault injection armed (ICSDIV_FAILPOINTS)\n";
+    }
 
     daemon::Server server(options);
     server.start();

@@ -39,7 +39,7 @@ AdmissionGate::Ticket::~Ticket() {
 }
 
 AdmissionGate::Ticket AdmissionGate::admit(const support::CancelToken& cancel) {
-  std::unique_lock lock(mutex_);
+  const support::MutexLock lock(mutex_);
   cancel.check("admission.queue");
   if (running_ >= max_running_) {
     if (queued_ >= max_queued_) {
@@ -52,7 +52,7 @@ AdmissionGate::Ticket AdmissionGate::admit(const support::CancelToken& cancel) {
     try {
       while (running_ >= max_running_) {
         if (!cancel.valid()) {
-          admitted_.wait(lock, [this] { return running_ < max_running_; });
+          while (running_ >= max_running_) admitted_.wait(mutex_);
           break;
         }
         // Sliced waits so an explicit cancel() (which cannot signal the
@@ -62,7 +62,7 @@ AdmissionGate::Ticket AdmissionGate::admit(const support::CancelToken& cancel) {
         if (cancel.deadline_ns() != support::CancelToken::kNoDeadline) {
           until = std::min(until, cancel.deadline());
         }
-        admitted_.wait_until(lock, until, [this] { return running_ < max_running_; });
+        admitted_.wait_until(mutex_, until);
         if (running_ < max_running_) break;
         cancel.check("admission.queue");
       }
@@ -79,29 +79,29 @@ AdmissionGate::Ticket AdmissionGate::admit(const support::CancelToken& cancel) {
 
 void AdmissionGate::leave() {
   {
-    const std::lock_guard lock(mutex_);
+    const support::MutexLock lock(mutex_);
     --running_;
   }
   admitted_.notify_one();
 }
 
 std::size_t AdmissionGate::running() const {
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return running_;
 }
 
 std::size_t AdmissionGate::queued() const {
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return queued_;
 }
 
 std::size_t AdmissionGate::rejected_total() const {
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return rejected_;
 }
 
 std::size_t AdmissionGate::admitted_total() const {
-  const std::lock_guard lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return admitted_count_;
 }
 
@@ -167,7 +167,7 @@ class CoalescingCache {
                          Compute&& compute, Cacheable&& cacheable) {
     std::shared_ptr<Entry> entry;
     {
-      std::unique_lock lock(mutex_);
+      const support::MutexLock lock(mutex_);
       ++counters_.planned;
       if (const auto it = entries_.find(key); it != entries_.end()) {
         ++counters_.hits;
@@ -176,7 +176,7 @@ class CoalescingCache {
         if (!entry->done) {
           entry->cancel.extend_deadline_ns(cancel.deadline_ns());
           ++entry->waiters;
-          wait_for_entry(lock, *entry, cancel);
+          wait_for_entry(*entry, cancel);
         }
         if (entry->error) std::rethrow_exception(entry->error);
         return {entry->value, false};
@@ -195,7 +195,7 @@ class CoalescingCache {
       support::failpoint::evaluate("cache.insert");
       const bool keep = cacheable(*value);
       {
-        const std::lock_guard lock(mutex_);
+        const support::MutexLock lock(mutex_);
         entry->value = std::move(value);
         entry->done = true;
         --entry->waiters;
@@ -211,7 +211,7 @@ class CoalescingCache {
       return {entry->value, true};
     } catch (...) {
       {
-        const std::lock_guard lock(mutex_);
+        const support::MutexLock lock(mutex_);
         entry->error = std::current_exception();
         entry->done = true;
         --entry->waiters;
@@ -231,11 +231,17 @@ class CoalescingCache {
   }
 
   [[nodiscard]] runner::StageCounters counters() const {
-    const std::lock_guard lock(mutex_);
+    const support::MutexLock lock(mutex_);
     return counters_;
   }
 
  private:
+  /// Entry fields are written by the executing thread and read by
+  /// waiters; every access happens under the cache's mutex_ except the
+  /// executor's post-completion reads of its own `value`/`cancel` (safe:
+  /// after `done`, only the executor touches them).  The fields stay
+  /// unannotated because the struct outlives individual lock scopes via
+  /// shared_ptr — the mutex_ relationship is documented here instead.
   struct Entry {
     bool done = false;
     std::shared_ptr<const Value> value;
@@ -250,11 +256,10 @@ class CoalescingCache {
   /// Blocks until the entry completes or the caller's own token expires;
   /// expiry decrements the waiter count (cancelling the entry when it was
   /// the last) and rethrows as the caller's deadline/cancel error.
-  void wait_for_entry(std::unique_lock<std::mutex>& lock, Entry& entry,
-                      const support::CancelToken& cancel) {
+  void wait_for_entry(Entry& entry, const support::CancelToken& cancel) ICSDIV_REQUIRES(mutex_) {
     while (!entry.done) {
       if (!cancel.valid()) {
-        ready_.wait(lock, [&] { return entry.done; });
+        while (!entry.done) ready_.wait(mutex_);
         break;
       }
       // Sliced waits: an explicit cancel() cannot signal ready_, so poll;
@@ -263,7 +268,7 @@ class CoalescingCache {
       if (cancel.deadline_ns() != support::CancelToken::kNoDeadline) {
         until = std::min(until, cancel.deadline());
       }
-      ready_.wait_until(lock, until, [&] { return entry.done; });
+      ready_.wait_until(mutex_, until);
       if (entry.done) break;
       if (cancel.expired()) {
         --entry.waiters;
@@ -277,9 +282,10 @@ class CoalescingCache {
   /// Drops least-recently-used *completed* entries beyond capacity.
   /// In-flight entries are pinned; coalesced waiters keep their shared_ptr
   /// alive regardless, eviction only forgets the key.
-  void evict_locked() {
+  void evict_locked() ICSDIV_REQUIRES(mutex_) {
     while (entries_.size() > capacity_) {
       auto victim = entries_.end();
+      // lint:allow unordered-iteration -- min-by-last_used scan; ticks are unique, so order-independent
       for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if (!it->second->done) continue;
         if (victim == entries_.end() || it->second->last_used < victim->second->last_used) {
@@ -292,13 +298,13 @@ class CoalescingCache {
     }
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::size_t capacity_;
+  mutable support::Mutex mutex_;
+  support::CondVar ready_;
+  std::size_t capacity_;  ///< immutable after construction
   std::unordered_map<runner::ArtifactKey, std::shared_ptr<Entry>, runner::ArtifactKey::Hash>
-      entries_;
-  runner::StageCounters counters_;
-  std::uint64_t tick_ = 0;
+      entries_ ICSDIV_GUARDED_BY(mutex_);
+  runner::StageCounters counters_ ICSDIV_GUARDED_BY(mutex_);
+  std::uint64_t tick_ ICSDIV_GUARDED_BY(mutex_) = 0;
 };
 
 /// The parsed model documents; built once per (catalog, network) content.
@@ -374,7 +380,7 @@ struct Session::Impl {
 
   Response execute(const Request& request) {
     {
-      const std::lock_guard lock(stats_mutex_);
+      const support::MutexLock lock(stats_mutex_);
       ++requests_total_;
     }
     try {
@@ -396,7 +402,7 @@ struct Session::Impl {
       count_deadline_failure();
       throw;
     } catch (...) {
-      const std::lock_guard lock(stats_mutex_);
+      const support::MutexLock lock(stats_mutex_);
       ++requests_failed_;
       throw;
     }
@@ -413,7 +419,7 @@ struct Session::Impl {
     response.solve_cache = solves_.counters();
     response.eval_cache = evals_.counters();
     response.batch_cache = batches_.counters();
-    const std::lock_guard lock(stats_mutex_);
+    const support::MutexLock lock(stats_mutex_);
     response.requests_total = requests_total_;
     response.requests_failed = requests_failed_;
     response.requests_deadline = requests_deadline_;
@@ -447,12 +453,12 @@ struct Session::Impl {
   }
 
   void count_solve_seconds(double seconds) {
-    const std::lock_guard lock(stats_mutex_);
+    const support::MutexLock lock(stats_mutex_);
     solve_seconds_total_ += seconds;
   }
 
   void count_deadline_failure() {
-    const std::lock_guard lock(stats_mutex_);
+    const support::MutexLock lock(stats_mutex_);
     ++requests_failed_;
     ++requests_deadline_;
   }
@@ -677,7 +683,7 @@ struct Session::Impl {
           value->cells = specs.size();
           value->failed = report.failed_count();
           {
-            const std::lock_guard lock(stats_mutex_);
+            const support::MutexLock lock(stats_mutex_);
             batch_wall_seconds_total_ += report.wall_seconds;
             add_stage_stats(batch_stages_, report.stage_stats);
           }
@@ -703,13 +709,13 @@ struct Session::Impl {
   CoalescingCache<Response> evals_;
   CoalescingCache<BatchResponse> batches_;
 
-  mutable std::mutex stats_mutex_;
-  std::size_t requests_total_ = 0;
-  std::size_t requests_failed_ = 0;
-  std::size_t requests_deadline_ = 0;
-  double solve_seconds_total_ = 0.0;
-  double batch_wall_seconds_total_ = 0.0;
-  runner::StageStats batch_stages_;
+  mutable support::Mutex stats_mutex_;
+  std::size_t requests_total_ ICSDIV_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t requests_failed_ ICSDIV_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t requests_deadline_ ICSDIV_GUARDED_BY(stats_mutex_) = 0;
+  double solve_seconds_total_ ICSDIV_GUARDED_BY(stats_mutex_) = 0.0;
+  double batch_wall_seconds_total_ ICSDIV_GUARDED_BY(stats_mutex_) = 0.0;
+  runner::StageStats batch_stages_ ICSDIV_GUARDED_BY(stats_mutex_);
 };
 
 Session::Session(SessionOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}

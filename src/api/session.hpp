@@ -33,14 +33,14 @@
 // to the participants of that execution but never cached.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 
 #include "api/requests.hpp"
 #include "runner/batch_runner.hpp"
+#include "support/annotations.hpp"
 #include "support/cancel.hpp"
+#include "support/mutex.hpp"
 
 namespace icsdiv::api {
 
@@ -94,17 +94,17 @@ class AdmissionGate {
   [[nodiscard]] std::size_t admitted_total() const;
 
  private:
-  void leave();
+  void leave() ICSDIV_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable admitted_;
-  std::size_t max_running_;
-  std::size_t max_queued_;
+  mutable support::Mutex mutex_;
+  support::CondVar admitted_;
+  std::size_t max_running_;  ///< immutable after construction
+  std::size_t max_queued_;   ///< immutable after construction
   double retry_after_seconds_;
-  std::size_t running_ = 0;
-  std::size_t queued_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t admitted_count_ = 0;
+  std::size_t running_ ICSDIV_GUARDED_BY(mutex_) = 0;
+  std::size_t queued_ ICSDIV_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_ ICSDIV_GUARDED_BY(mutex_) = 0;
+  std::size_t admitted_count_ ICSDIV_GUARDED_BY(mutex_) = 0;
 };
 
 /// One warm execution context.  Thread-safe: any number of threads may

@@ -1,13 +1,14 @@
 #include "daemon/server.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/error.hpp"
+#include "support/mutex.hpp"
 
 namespace icsdiv::daemon {
 
@@ -41,7 +42,7 @@ struct Server::Impl {
     shut_down_ = true;
     stop_.store(true, std::memory_order_relaxed);
     {
-      const std::lock_guard lock(connections_mutex_);
+      const support::MutexLock lock(connections_mutex_);
       // Half-close every connection: a handler mid-request still writes
       // its response, then its next read reports EOF and the thread ends.
       for (const auto& connection : connections_) connection->socket.shutdown_read();
@@ -49,7 +50,7 @@ struct Server::Impl {
     if (accept_thread_.joinable()) accept_thread_.join();
     std::vector<std::shared_ptr<Connection>> connections;
     {
-      const std::lock_guard lock(connections_mutex_);
+      const support::MutexLock lock(connections_mutex_);
       connections.swap(connections_);
     }
     for (const auto& connection : connections) {
@@ -73,7 +74,7 @@ struct Server::Impl {
       if (stop_.load(std::memory_order_relaxed)) return;
       reap_finished();
       if (!socket.valid()) continue;
-      const std::lock_guard lock(connections_mutex_);
+      const support::MutexLock lock(connections_mutex_);
       if (connections_.size() >= options_.max_connections) {
         turn_away(socket);
         continue;
@@ -91,7 +92,7 @@ struct Server::Impl {
   /// Joins and drops connections whose handler has returned, so a
   /// long-lived daemon does not accumulate dead threads.
   void reap_finished() {
-    const std::lock_guard lock(connections_mutex_);
+    const support::MutexLock lock(connections_mutex_);
     for (auto it = connections_.begin(); it != connections_.end();) {
       if ((*it)->finished.load(std::memory_order_acquire)) {
         if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -178,11 +179,11 @@ struct Server::Impl {
   api::Session session_;
   support::Listener listener_;
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  support::Mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_ ICSDIV_GUARDED_BY(connections_mutex_);
   std::atomic<bool> stop_{false};
-  bool started_ = false;
-  bool shut_down_ = false;
+  bool started_ = false;    ///< main-thread only (start/shutdown/endpoint)
+  bool shut_down_ = false;  ///< main-thread only
 };
 
 Server::Server(ServerOptions options) : impl_(std::make_unique<Impl>(std::move(options))) {}

@@ -1,10 +1,8 @@
 #include "runner/scenario_engine.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
 
 #include "bayes/compiled.hpp"
@@ -13,6 +11,7 @@
 #include "sim/compiled.hpp"
 #include "support/cancel.hpp"
 #include "support/failpoint.hpp"
+#include "support/mutex.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -434,13 +433,13 @@ struct Task {
 /// parallel_for contract ("exceptions propagate, first wins").
 void run_dag(std::deque<Task>& tasks, std::size_t threads) {
   if (tasks.empty()) return;
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  support::Mutex error_mutex;
+  std::exception_ptr first_error;  // guarded by error_mutex until the joins below
   const auto run_body = [&](Task& task) {
     try {
       task.body();
     } catch (...) {
-      const std::lock_guard lock(error_mutex);
+      const support::MutexLock lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }
   };
@@ -472,9 +471,9 @@ void run_dag(std::deque<Task>& tasks, std::size_t threads) {
     if (tasks[t].pending.load(std::memory_order_relaxed) == 0) ready.push_back(t);
   }
 
-  std::mutex mutex;
-  std::condition_variable done;
-  std::size_t remaining = tasks.size();
+  support::Mutex mutex;
+  support::CondVar done;
+  std::size_t remaining = tasks.size();  // guarded by mutex
   std::function<void(std::size_t)> execute;
   // The pool is declared after everything `execute` captures, so its
   // destructor (which joins the workers) runs first — no worker can still
@@ -500,7 +499,7 @@ void run_dag(std::deque<Task>& tasks, std::size_t threads) {
       }
     }
     {
-      const std::lock_guard lock(mutex);
+      const support::MutexLock lock(mutex);
       --remaining;
     }
     done.notify_one();
@@ -510,8 +509,8 @@ void run_dag(std::deque<Task>& tasks, std::size_t threads) {
     pool.submit([&execute, t] { execute(t); });
   }
   {
-    std::unique_lock lock(mutex);
-    done.wait(lock, [&] { return remaining == 0; });
+    const support::MutexLock lock(mutex);
+    while (remaining != 0) done.wait(mutex);
   }
   if (first_error) std::rethrow_exception(first_error);
 }
@@ -673,32 +672,32 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
     add_task(
         [this, &report, &specs, &cells, &workloads, &problems, &solves, &channels, &attacks,
          &metrics, i] {
-          const ScenarioSpec& spec = specs[i];
-          const CellPlan& cell = cells[i];
+          const ScenarioSpec& row_spec = specs[i];
+          const CellPlan& row_cell = cells[i];
           ScenarioResult& result = report.results[i];
           result.index = i;
-          result.name = spec.name.empty() ? spec.derive_name() : spec.name;
-          result.hosts = spec.workload.hosts;
-          result.degree = spec.workload.average_degree;
-          result.services = spec.workload.services;
-          result.products_per_service = spec.workload.products_per_service;
-          result.solver = spec.solver;
-          result.constraints = spec.constraints;
-          result.seed = spec.seed;
-          if (spec.attack) {
-            // Axis echo like solver/constraints: spec-derived, so a failed
-            // cell still lands in its (strategy, detection) aggregate group.
-            result.attack_strategy = spec.attack->strategy;
-            result.attack_detection = spec.attack->detection;
+          result.name = row_spec.name.empty() ? row_spec.derive_name() : row_spec.name;
+          result.hosts = row_spec.workload.hosts;
+          result.degree = row_spec.workload.average_degree;
+          result.services = row_spec.workload.services;
+          result.products_per_service = row_spec.workload.products_per_service;
+          result.solver = row_spec.solver;
+          result.constraints = row_spec.constraints;
+          result.seed = row_spec.seed;
+          if (row_spec.attack) {
+            // Axis echo like solver/constraints: row_spec-derived, so a failed
+            // row_cell still lands in its (strategy, detection) aggregate group.
+            result.attack_strategy = row_spec.attack->strategy;
+            result.attack_detection = row_spec.attack->detection;
           }
-          if (spec.metrics) result.metric_engine = spec.metrics->engine;
+          if (row_spec.metrics) result.metric_engine = row_spec.metrics->engine;
 
           // First failing stage (in pipeline order) fails the cell; every
           // other field but the axis echo is then meaningless.
           const auto fail = [&](const std::string& error) { result.error = error; };
-          const WorkloadStore::Slot& workload = workloads.at(cell.workload);
-          const ProblemStore::Slot& problem = problems.at(cell.problem);
-          const SolveStore::Slot& solve = solves.at(cell.solve);
+          const WorkloadStore::Slot& workload = workloads.at(row_cell.workload);
+          const ProblemStore::Slot& problem = problems.at(row_cell.problem);
+          const SolveStore::Slot& solve = solves.at(row_cell.solve);
           if (!workload.error.empty()) {
             fail(workload.error);
           } else if (!problem.error.empty()) {
@@ -718,8 +717,8 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
             result.average_similarity = solve.summary.average_similarity;
             result.normalized_richness = solve.summary.normalized_richness;
             result.solve_seconds = solve.summary.seconds;
-            if (cell.attack != kNoStage) {
-              const AttackStore::Slot& attack = attacks.at(cell.attack);
+            if (row_cell.attack != kNoStage) {
+              const AttackStore::Slot& attack = attacks.at(row_cell.attack);
               if (!attack.error.empty()) {
                 fail(attack.error);
               } else {
@@ -729,11 +728,11 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
                 result.mttc_uncensored_mean = attack.summary.uncensored_mean;
                 result.mttc_censored = attack.summary.censored;
                 result.attack_seconds =
-                    channels.at(cell.channels).summary.seconds + attack.summary.seconds;
+                    channels.at(row_cell.channels).summary.seconds + attack.summary.seconds;
               }
             }
-            if (result.error.empty() && cell.metric != kNoStage) {
-              const MetricStore::Slot& metric = metrics.at(cell.metric);
+            if (result.error.empty() && row_cell.metric != kNoStage) {
+              const MetricStore::Slot& metric = metrics.at(row_cell.metric);
               if (!metric.error.empty()) {
                 fail(metric.error);
               } else {
@@ -747,7 +746,7 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
               }
             }
           }
-          solves.release(cell.solve);
+          solves.release(row_cell.solve);
           if (options_.on_result) options_.on_result(result);
         },
         leaves);

@@ -1,0 +1,61 @@
+// Clang thread-safety analysis annotations (DESIGN.md §12).
+//
+// The system's concurrency promises — coalesced computes, bounded
+// admission, thread-count-invariant reports — are enforced at compile
+// time on clang builds via -Werror=thread-safety.  Every lock-protected
+// member is declared ICSDIV_GUARDED_BY(its mutex), every function with a
+// locking precondition ICSDIV_REQUIRES(it), and the analysis rejects any
+// access path that cannot prove the lock is held.  On compilers without
+// the attribute set (gcc) every macro expands to nothing, so the
+// annotations cost nothing outside the clang lanes.
+//
+// These attach to `support::Mutex` / `support::MutexLock` /
+// `support::CondVar` (mutex.hpp): libstdc++'s std::mutex carries no
+// capability attribute, so the analysis needs the thin annotated
+// wrappers to have something to track.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ICSDIV_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ICSDIV_THREAD_ANNOTATION
+#define ICSDIV_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define ICSDIV_CAPABILITY(x) ICSDIV_THREAD_ANNOTATION(capability(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// Marks an RAII type that acquires in its constructor, releases in its
+/// destructor (std::lock_guard shape).
+#define ICSDIV_SCOPED_CAPABILITY ICSDIV_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member is only read/written while holding the named mutex.
+#define ICSDIV_GUARDED_BY(x) ICSDIV_THREAD_ANNOTATION(guarded_by(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// The pointee is only dereferenced while holding the named mutex.
+#define ICSDIV_PT_GUARDED_BY(x) ICSDIV_THREAD_ANNOTATION(pt_guarded_by(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// The function may only be called while holding the listed mutexes.
+#define ICSDIV_REQUIRES(...) ICSDIV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed mutexes (held on return).
+#define ICSDIV_ACQUIRE(...) ICSDIV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed mutexes (held on entry).
+#define ICSDIV_RELEASE(...) ICSDIV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the mutex iff it returns the given value.
+#define ICSDIV_TRY_ACQUIRE(...) ICSDIV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed mutexes
+/// (deadlock documentation: it acquires them itself).
+#define ICSDIV_EXCLUDES(...) ICSDIV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the named mutex (accessor documentation).
+#define ICSDIV_RETURN_CAPABILITY(x) ICSDIV_THREAD_ANNOTATION(lock_returned(x))  // NOLINT(bugprone-macro-parentheses)
+
+/// Escape hatch for code the analysis cannot follow.  Every use carries a
+/// justification comment (DESIGN.md §12 — suppressions are reviewable).
+#define ICSDIV_NO_THREAD_SAFETY_ANALYSIS ICSDIV_THREAD_ANNOTATION(no_thread_safety_analysis)

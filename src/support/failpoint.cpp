@@ -5,10 +5,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "support/annotations.hpp"
 #include "support/error.hpp"
+#include "support/mutex.hpp"
 #include "support/rng.hpp"
 
 namespace icsdiv::support::failpoint {
@@ -22,10 +23,12 @@ struct Site {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Site, std::less<>> sites;
-  std::uint64_t seed = 0;
-  std::size_t next_order = 0;
+  Mutex mutex;
+  // std::map, not unordered: armed_sites() and the spec round-trip must
+  // not depend on hash iteration order (determinism invariant).
+  std::map<std::string, Site, std::less<>> sites ICSDIV_GUARDED_BY(mutex);
+  std::uint64_t seed ICSDIV_GUARDED_BY(mutex) = 0;
+  std::size_t next_order ICSDIV_GUARDED_BY(mutex) = 0;
 };
 
 Registry& registry() {
@@ -113,7 +116,7 @@ void evaluate_slow(std::string_view site) {
   std::uint64_t hit = 0;
   {
     Registry& reg = registry();
-    const std::lock_guard lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     const auto found = reg.sites.find(site);
     if (found == reg.sites.end()) return;
     config = found->second.config;
@@ -140,7 +143,7 @@ void arm(std::string_view site, const Config& config) {
           "probability must be in [0, 1]");
   require(config.delay_ms >= 0, "failpoint::arm", "delay must be non-negative");
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   auto [slot, inserted] = reg.sites.try_emplace(std::string(site));
   slot->second.config = config;
   if (inserted) slot->second.order = reg.next_order++;
@@ -149,7 +152,7 @@ void arm(std::string_view site, const Config& config) {
 
 void disarm(std::string_view site) {
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   const auto found = reg.sites.find(site);
   if (found != reg.sites.end()) reg.sites.erase(found);
   if (reg.sites.empty()) detail::g_armed.store(false, std::memory_order_relaxed);
@@ -157,7 +160,7 @@ void disarm(std::string_view site) {
 
 void disarm_all() {
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   reg.sites.clear();
   reg.seed = 0;
   reg.next_order = 0;
@@ -166,7 +169,7 @@ void disarm_all() {
 
 void set_seed(std::uint64_t seed) {
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   reg.seed = seed;
 }
 
@@ -210,14 +213,14 @@ bool arm_from_env() {
 
 std::uint64_t hits(std::string_view site) noexcept {
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   const auto found = reg.sites.find(site);
   return found == reg.sites.end() ? 0 : found->second.hits;
 }
 
 std::vector<std::string> armed_sites() {
   Registry& reg = registry();
-  const std::lock_guard lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   std::vector<std::pair<std::size_t, std::string>> ordered;
   ordered.reserve(reg.sites.size());
   for (const auto& [name, site] : reg.sites) ordered.emplace_back(site.order, name);

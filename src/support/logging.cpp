@@ -4,9 +4,10 @@
 #include <cctype>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 
+#include "support/annotations.hpp"
 #include "support/error.hpp"
+#include "support/mutex.hpp"
 
 namespace icsdiv::support {
 
@@ -14,8 +15,9 @@ namespace {
 
 std::atomic<bool> g_level_initialised{false};
 std::atomic<LogLevel> g_level{LogLevel::Warning};
-std::mutex g_sink_mutex;
-LogSink& sink_storage() {
+Mutex g_sink_mutex;
+/// The process-wide sink; only touched under g_sink_mutex.
+LogSink& sink_storage() ICSDIV_REQUIRES(g_sink_mutex) {
   static LogSink sink;
   return sink;
 }
@@ -76,13 +78,13 @@ void set_log_level(LogLevel level) noexcept {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   sink_storage() = std::move(sink);
 }
 
 void log(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   if (LogSink& sink = sink_storage()) {
     sink(level, message);
   } else {

@@ -1,0 +1,91 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers for the
+// clang thread-safety analysis (annotations.hpp, DESIGN.md §12).
+//
+// libstdc++'s std::mutex has no `capability` attribute, so members
+// declared GUARDED_BY(a std::mutex) would not type-check under
+// -Wthread-safety.  These wrappers are zero-overhead (one inlined
+// forwarding call per operation) and give the analysis a capability to
+// track; all lock-protected state in the library uses them.
+//
+// CondVar pairs std::condition_variable with Mutex via the adopt/release
+// dance, so waits cost exactly what a std::unique_lock wait costs.  Its
+// wait methods take the Mutex itself and are annotated REQUIRES(mutex):
+// predicate-style waits are written as explicit loops at the call site
+// (`while (!ready) cv.wait(mutex);`) because a predicate lambda would be
+// analysed as a separate unannotated function and rejected.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/annotations.hpp"
+
+namespace icsdiv::support {
+
+class CondVar;
+
+/// An annotated std::mutex.  Prefer MutexLock for scoped acquisition.
+class ICSDIV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ICSDIV_ACQUIRE() { mutex_.lock(); }
+  void unlock() ICSDIV_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() ICSDIV_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// std::lock_guard over a Mutex, visible to the analysis.
+class ICSDIV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ICSDIV_ACQUIRE(mutex) : mutex_(mutex) { mutex.lock(); }
+  ~MutexLock() ICSDIV_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex at each wait.  Waits release and
+/// re-acquire the mutex exactly like std::condition_variable; the
+/// REQUIRES annotation makes the analysis check the caller holds it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (spurious wakeups possible — loop on the
+  /// condition at the call site).
+  void wait(Mutex& mutex) ICSDIV_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `deadline`; returns false on timeout.
+  template <typename Clock, typename Duration>
+  bool wait_until(Mutex& mutex, const std::chrono::time_point<Clock, Duration>& deadline)
+      ICSDIV_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace icsdiv::support

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   wakeup_.notify_all();
@@ -29,8 +29,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wakeup_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) wakeup_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

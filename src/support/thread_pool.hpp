@@ -4,16 +4,16 @@
 // independent subproblems dispatched concurrently — realised on CPU cores.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "support/annotations.hpp"
 #include "support/error.hpp"
+#include "support/mutex.hpp"
 
 namespace icsdiv::support {
 
@@ -37,7 +37,7 @@ class ThreadPool {
     auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
     std::future<Result> future = packaged->get_future();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       require(!stopping_, "ThreadPool::submit", "pool is shutting down");
       queue_.emplace_back([packaged]() { (*packaged)(); });
     }
@@ -58,10 +58,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wakeup_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wakeup_;
+  std::deque<std::function<void()>> queue_ ICSDIV_GUARDED_BY(mutex_);
+  bool stopping_ ICSDIV_GUARDED_BY(mutex_) = false;
 };
 
 /// Lazily-constructed process-wide pool for library internals that want

@@ -198,8 +198,8 @@ TEST_P(GoldenEquivalence, SolversMatchPreRefactorPathExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GoldenEquivalence, ::testing::ValuesIn(kGolden),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param.seed);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param.seed);
                          });
 
 // ---------------------------------------------------------------------------

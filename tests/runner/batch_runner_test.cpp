@@ -85,8 +85,8 @@ TEST(ScenarioGrid, CellCountRejectsGridsPastTheCap) {
   grid.seeds.assign(2000, 0);
   std::iota(grid.seeds.begin(), grid.seeds.end(), 0);
   grid.hosts.assign(2000, 8);
-  EXPECT_THROW(grid.cell_count(), Infeasible);
-  EXPECT_THROW(grid.expand(), Infeasible);
+  EXPECT_THROW((void)grid.cell_count(), Infeasible);
+  EXPECT_THROW((void)grid.expand(), Infeasible);
   // Raising the cap re-admits the grid (the guard is configurable).
   grid.max_cells = 100'000'000;
   EXPECT_EQ(grid.cell_count(), 2000u * 2000u * 2u * 3u);
@@ -104,8 +104,8 @@ TEST(ScenarioGrid, CellCountRejectsOverflowingAxisProducts) {
   grid.solvers.assign(1024, "icm");
   grid.constraints.assign(1024, "none");
   grid.seeds.assign(1024, 1);
-  EXPECT_THROW(grid.cell_count(), Infeasible);
-  EXPECT_THROW(grid.expand(), Infeasible);
+  EXPECT_THROW((void)grid.cell_count(), Infeasible);
+  EXPECT_THROW((void)grid.expand(), Infeasible);
 }
 
 TEST(ScenarioGrid, MaxCellsRoundTripsAndValidates) {

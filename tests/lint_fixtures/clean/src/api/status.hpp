@@ -1,0 +1,22 @@
+// Fixture: clean counterpart — the pinned contract plus one new code
+// allocated past the pinned/retired range.
+#pragma once
+
+namespace icsdiv::api {
+
+enum class StatusCode {
+  Ok = 0,
+  InvalidArgument = 2,
+  ParseError = 3,
+  NotFound = 4,
+  Infeasible = 5,
+  LogicError = 6,
+  Saturated = 7,
+  PartialFailure = 8,
+  Internal = 9,
+  DeadlineExceeded = 10,
+  Cancelled = 11,
+  Throttled = 12,  // new codes start at 12
+};
+
+}  // namespace icsdiv::api

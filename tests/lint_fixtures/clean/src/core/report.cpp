@@ -1,0 +1,28 @@
+// Fixture: clean counterpart — ordered emission, plus one justified
+// suppression exercising the allow-marker mechanism.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace icsdiv::core {
+
+struct Report {
+  std::unordered_map<std::string, double> metrics;
+};
+
+std::string render(const Report& report) {
+  // Copy into an ordered map before emitting: output order is the key
+  // order, never the hash order.
+  // lint:allow unordered-iteration -- feeding an ordered map; emission sorts
+  std::map<std::string, double> ordered(report.metrics.begin(), report.metrics.end());
+  std::string out;
+  for (const auto& [name, value] : ordered) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace icsdiv::core

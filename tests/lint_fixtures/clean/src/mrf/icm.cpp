@@ -1,0 +1,30 @@
+// Fixture: clean counterpart — the sweep loop polls the CancelToken.
+#include <cstddef>
+#include <vector>
+
+namespace icsdiv::support {
+struct CancelToken {
+  [[nodiscard]] bool expired() const noexcept { return false; }
+};
+}  // namespace icsdiv::support
+
+namespace icsdiv::mrf {
+
+std::size_t sweep(std::vector<int>& labels, std::size_t max_sweeps,
+                  const support::CancelToken& cancel) {
+  std::size_t sweeps = 0;
+  for (; sweeps < max_sweeps; ++sweeps) {
+    if (cancel.expired()) break;
+    bool changed = false;
+    for (auto& label : labels) {
+      if (label > 0) {
+        --label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return sweeps;
+}
+
+}  // namespace icsdiv::mrf

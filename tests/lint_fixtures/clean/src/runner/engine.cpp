@@ -1,0 +1,14 @@
+// Fixture: clean counterpart — the armed site matches the registry.
+#include <string_view>
+
+namespace icsdiv::support::failpoint {
+void evaluate(std::string_view site);
+}
+
+namespace icsdiv::runner {
+
+void run_stage() {
+  support::failpoint::evaluate("stage.solve");
+}
+
+}  // namespace icsdiv::runner

@@ -1,0 +1,19 @@
+// Fixture: clean counterpart — seeded streams and the steady clock only.
+#include <chrono>
+#include <cstdint>
+
+namespace icsdiv::support {
+
+std::uint64_t stream_draw(std::uint64_t seed) {
+  // Stand-in for support::stream_rng: deterministic, seed-derived.
+  seed ^= seed << 13;
+  seed ^= seed >> 7;
+  seed ^= seed << 17;
+  return seed;
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace icsdiv::support

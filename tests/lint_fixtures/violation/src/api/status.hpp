@@ -1,0 +1,23 @@
+// Fixture: status-pinned violations — renumbered, implicit, reused, and
+// deleted codes relative to the pinned contract.
+#pragma once
+
+namespace icsdiv::api {
+
+enum class StatusCode {
+  Ok = 0,
+  InvalidArgument = 3,  // violation: pinned to 2
+  ParseError,           // violation: no explicit value
+  NotFound = 4,
+  Infeasible = 5,
+  LogicError = 6,
+  Saturated = 7,
+  PartialFailure = 8,
+  Internal = 9,
+  DeadlineExceeded = 10,
+  // violation: Cancelled (= 11) deleted
+  Throttled = 11,  // violation: new code reusing a pinned value
+  Duplicate = 4,   // violation: value collides with NotFound
+};
+
+}  // namespace icsdiv::api

@@ -1,0 +1,31 @@
+// Fixture: unordered-iteration violations in a determinism-critical file.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace icsdiv::core {
+
+struct Report {
+  std::unordered_map<std::string, double> metrics;
+};
+
+std::string render(const Report& report) {
+  std::string out;
+  // Violation: range-for over an unordered member — emission order would
+  // depend on libstdc++'s hash seed.
+  for (const auto& [name, value] : report.metrics) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  std::unordered_set<std::string> names;
+  // Violation: explicit iterator loop over an unordered local.
+  for (auto it = names.begin(); it != names.end(); ++it) {
+    out += *it;
+  }
+  // lint:allow bogus reason missing the separator, so suppression-syntax fires
+  return out;
+}
+
+}  // namespace icsdiv::core

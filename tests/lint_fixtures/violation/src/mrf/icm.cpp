@@ -1,0 +1,23 @@
+// Fixture: an iterative solver that never polls for interruption, so
+// deadlines have no way to stop it mid-run.
+#include <cstddef>
+#include <vector>
+
+namespace icsdiv::mrf {
+
+std::size_t sweep(std::vector<int>& labels, std::size_t max_sweeps) {
+  std::size_t sweeps = 0;
+  for (; sweeps < max_sweeps; ++sweeps) {
+    bool changed = false;
+    for (auto& label : labels) {
+      if (label > 0) {
+        --label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return sweeps;
+}
+
+}  // namespace icsdiv::mrf

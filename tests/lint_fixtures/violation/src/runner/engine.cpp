@@ -1,0 +1,15 @@
+// Fixture: failpoint-registry violation — a site armed in code that the
+// DESIGN.md registry block does not document.
+#include <string_view>
+
+namespace icsdiv::support::failpoint {
+void evaluate(std::string_view site);
+}
+
+namespace icsdiv::runner {
+
+void run_stage() {
+  support::failpoint::evaluate("stage.unknown");
+}
+
+}  // namespace icsdiv::runner

@@ -1,0 +1,23 @@
+// Fixture: ambient-randomness violations.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace icsdiv::support {
+
+int ambient_seed() {
+  std::random_device device;  // violation: nondeterministic entropy
+  return static_cast<int>(device());
+}
+
+double wall_seconds() {
+  // violation: wall clock
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int legacy_draw() {
+  return rand();  // violation: ambient global state
+}
+
+}  // namespace icsdiv::support

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/lint_invariants.py.
+
+Each rule is pinned by a violation fixture (under
+tests/lint_fixtures/violation/) and a clean counterpart
+(tests/lint_fixtures/clean/).  A final test runs the linter over the
+real tree with --require-all and demands zero findings — the linter is
+only useful while it has no false positives on the code it gates.
+"""
+
+import importlib.util
+import pathlib
+import sys
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location(
+        "lint_invariants", REPO_ROOT / "tools" / "lint_invariants.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves field types through sys.modules, so the module
+    # must be registered before exec.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+lint = _load_linter()
+
+
+class ViolationFixtureTest(unittest.TestCase):
+    """Every rule fires on its violation fixture, at the expected spot."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.findings = lint.run(FIXTURES / "violation")
+
+    def _of_rule(self, rule):
+        return [f for f in self.findings if f.rule == rule]
+
+    def test_unordered_iteration_flags_range_for_and_iterator_loops(self):
+        found = self._of_rule("unordered-iteration")
+        self.assertEqual({f.path for f in found}, {"src/core/report.cpp"})
+        self.assertEqual(len(found), 2)  # the range-for and the begin() loop
+
+    def test_ambient_randomness_flags_device_clock_and_rand(self):
+        found = self._of_rule("ambient-randomness")
+        self.assertEqual({f.path for f in found}, {"src/support/util.cpp"})
+        messages = " ".join(f.message for f in found)
+        self.assertIn("random_device", messages)
+        self.assertIn("system_clock", messages)
+        self.assertIn("rand()", messages)
+        self.assertEqual(len(found), 3)
+
+    def test_solver_cancel_flags_file_without_token_reference(self):
+        found = self._of_rule("solver-cancel")
+        self.assertEqual([(f.path, f.line) for f in found], [("src/mrf/icm.cpp", 0)])
+
+    def test_status_pinned_flags_renumber_implicit_reuse_and_removal(self):
+        found = self._of_rule("status-pinned")
+        self.assertEqual({f.path for f in found}, {"src/api/status.hpp"})
+        messages = [f.message for f in found]
+        self.assertTrue(any("InvalidArgument" in m and "pinned to 2" in m for m in messages))
+        self.assertTrue(any("ParseError" in m and "no explicit value" in m for m in messages))
+        self.assertTrue(any("Cancelled" in m and "removed" in m for m in messages))
+        self.assertTrue(any("Throttled" in m for m in messages))
+        self.assertTrue(any("reuses value 4" in m for m in messages))
+
+    def test_failpoint_registry_checks_both_directions(self):
+        found = self._of_rule("failpoint-registry")
+        by_path = {f.path: f.message for f in found}
+        self.assertIn("src/runner/engine.cpp", by_path)
+        self.assertIn("stage.unknown", by_path["src/runner/engine.cpp"])
+        self.assertIn("DESIGN.md", by_path)
+        self.assertIn("stage.ghost", by_path["DESIGN.md"])
+        self.assertEqual(len(found), 2)
+
+    def test_malformed_suppression_is_reported(self):
+        found = self._of_rule("suppression-syntax")
+        self.assertEqual({f.path for f in found}, {"src/core/report.cpp"})
+        self.assertEqual(len(found), 1)
+
+    def test_no_unexpected_rules_fired(self):
+        rules = {f.rule for f in self.findings}
+        self.assertEqual(
+            rules,
+            {
+                "unordered-iteration",
+                "ambient-randomness",
+                "solver-cancel",
+                "status-pinned",
+                "failpoint-registry",
+                "suppression-syntax",
+            },
+        )
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_clean_fixture_has_zero_findings(self):
+        findings = lint.run(FIXTURES / "clean")
+        self.assertEqual([f.render() for f in findings], [])
+
+    def test_suppressed_site_counts_as_clean(self):
+        # The clean report.cpp contains a justified lint:allow over a real
+        # .begin() call on an unordered member; it must not surface.
+        findings = lint.run(FIXTURES / "clean")
+        self.assertFalse(any(f.rule == "unordered-iteration" for f in findings))
+
+
+class SuppressionSyntaxTest(unittest.TestCase):
+    def test_marker_must_carry_a_reason(self):
+        sup = lint.collect_suppressions(["int x;  // lint:allow solver-cancel"])
+        self.assertEqual(len(sup.syntax_errors), 1)
+        self.assertFalse(sup.allows("solver-cancel", 1))
+
+    def test_marker_rejects_unknown_rules(self):
+        sup = lint.collect_suppressions(["// lint:allow made-up-rule -- because"])
+        self.assertEqual(len(sup.syntax_errors), 1)
+
+    def test_marker_covers_its_line_and_the_next(self):
+        sup = lint.collect_suppressions(
+            ["// lint:allow ambient-randomness -- fixture", "rand();", "rand();"]
+        )
+        self.assertTrue(sup.allows("ambient-randomness", 1))
+        self.assertTrue(sup.allows("ambient-randomness", 2))
+        self.assertFalse(sup.allows("ambient-randomness", 3))
+
+    def test_marker_accepts_a_rule_list(self):
+        sup = lint.collect_suppressions(
+            ["// lint:allow ambient-randomness, unordered-iteration -- fixture"]
+        )
+        self.assertTrue(sup.allows("ambient-randomness", 1))
+        self.assertTrue(sup.allows("unordered-iteration", 1))
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_real_tree_is_clean_with_require_all(self):
+        findings = lint.run(REPO_ROOT, require_all=True)
+        self.assertEqual([f.render() for f in findings], [])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit, in parallel,
+# using the compile database the build always exports (DESIGN.md §12.2).
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory defaults to ./build and is configured on the fly
+# when it has no compile_commands.json (reusing ccache if present, so a
+# tidy run never invalidates the warm build cache).  Set CLANG_TIDY to
+# pick a specific binary (e.g. CLANG_TIDY=clang-tidy-18).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+fi
+
+# First-party TUs only: tests and bench link against the same headers
+# (covered via HeaderFilterRegex), and third-party code is not ours to lint.
+FILES="$(python3 - "$BUILD_DIR" << 'PY'
+import json
+import os
+import sys
+
+with open(os.path.join(sys.argv[1], "compile_commands.json")) as handle:
+    database = json.load(handle)
+prefix = os.path.join(os.getcwd(), "src") + os.sep
+files = sorted({entry["file"] for entry in database
+                if os.path.abspath(entry["file"]).startswith(prefix)})
+print("\n".join(files))
+PY
+)"
+
+if [ -z "$FILES" ]; then
+  echo "run_clang_tidy: no first-party sources in $BUILD_DIR/compile_commands.json" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+echo "$FILES" | xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet
+echo "run_clang_tidy: $(echo "$FILES" | wc -l) files clean"

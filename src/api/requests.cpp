@@ -206,10 +206,12 @@ void fields_to_wire(const BatchRequest& request, support::JsonObject& object) {
   object.set("grid", request.grid);
   if (request.threads != 0) object.set("threads", request.threads);
   timeout_to_wire(request.timeout_ms, object);
+  if (!request.store_dir.empty()) object.set("store_dir", support::Json(request.store_dir));
 }
 
 BatchRequest batch_from_wire(const support::JsonObject& object) {
-  check_keys(object, {kEnvelope[0], kEnvelope[1], "grid", "threads", "timeout_ms"}, "batch");
+  check_keys(object, {kEnvelope[0], kEnvelope[1], "grid", "threads", "timeout_ms", "store_dir"},
+             "batch");
   BatchRequest request;
   request.grid = required_field(object, "grid", "batch");
   if (const support::Json* threads = object.find("threads")) {
@@ -218,6 +220,9 @@ BatchRequest batch_from_wire(const support::JsonObject& object) {
     request.threads = static_cast<std::size_t>(value);
   }
   request.timeout_ms = timeout_from_wire(object, "batch");
+  if (const support::Json* store = object.find("store_dir")) {
+    request.store_dir = store->as_string();
+  }
   return request;
 }
 

@@ -93,6 +93,7 @@ struct BatchRequest {
   support::Json grid;
   std::size_t threads = 0;  ///< batch worker threads; 0 = hardware
   std::int64_t timeout_ms = 0;  ///< wall-clock deadline; 0 = none
+  std::string store_dir;  ///< on-disk artifact store (DESIGN.md §13); "" = off
 };
 
 /// d_bn (Def. 6) for one entry/target pair on an existing assignment.

@@ -646,6 +646,12 @@ struct Session::Impl {
     runner::KeyHasher hasher = domain_hasher(CacheDomain::Batch);
     mix_json(hasher, request.grid);
     hasher.mix(static_cast<std::uint64_t>(request.threads));
+    // The store is part of the identity: a store-backed run and a bare
+    // run of the same grid report different stage counters, so they must
+    // not coalesce onto one cached response.
+    const std::string store_dir =
+        request.store_dir.empty() ? options_.store_dir : request.store_dir;
+    hasher.mix(store_dir);
     const auto outcome = batches_.get_or_compute(
         hasher.key(), cancel, [&](const support::CancelToken& token) {
           support::failpoint::evaluate("session.compute");
@@ -667,6 +673,7 @@ struct Session::Impl {
           }
           runner::BatchOptions options;
           options.threads = request.threads;
+          options.store_dir = store_dir;
           options.on_result = options_.on_batch_result;
           options.cancel = token;
           const runner::BatchRunner batch(options);

@@ -58,6 +58,9 @@ struct SessionOptions {
   double retry_after_seconds = 1.0;
   /// Per-cell progress callback for executed (non-coalesced) batches.
   std::function<void(const runner::ScenarioResult&)> on_batch_result;
+  /// Default on-disk artifact store for batch requests (DESIGN.md §13);
+  /// "" = none.  A request's own store_dir takes precedence.
+  std::string store_dir;
 };
 
 /// Bounded run/queue admission control.  Exposed for direct testing; the

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "support/stopwatch.hpp"
 
 namespace icsdiv::daemon {
 
@@ -21,7 +23,16 @@ void Client::ensure_connected() {
   decoder_ = FrameDecoder();
 }
 
-void Client::backoff(std::size_t attempt, double floor_seconds) {
+void Client::backoff(std::size_t attempt, double floor_seconds, double remaining_seconds) {
+  // The caller's overall budget wins over every backoff rule: sleeping
+  // past it (on the exponential schedule, the jitter, or a server's
+  // retry_after_seconds floor) would return DeadlineExceeded *after* the
+  // deadline had long passed.  Out of budget → fail now; short on budget
+  // → sleep only what is left and let the next attempt race the clock.
+  if (remaining_seconds <= 0.0) {
+    throw DeadlineExceededError("call budget of " + std::to_string(options_.call_timeout_ms) +
+                                "ms exhausted after " + std::to_string(attempt) + " attempts");
+  }
   double delay = options_.backoff_base_seconds;
   for (std::size_t i = 1; i < attempt && delay < options_.backoff_max_seconds; ++i) delay *= 2;
   delay = std::min(delay, options_.backoff_max_seconds);
@@ -30,6 +41,7 @@ void Client::backoff(std::size_t attempt, double floor_seconds) {
   // synchronised retry herds without ever halving below the server hint.
   delay *= 0.5 + 0.5 * jitter_.uniform();
   delay = std::max(delay, floor_seconds);
+  delay = std::min(delay, remaining_seconds);
   std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
@@ -37,6 +49,11 @@ api::Response Client::call(const api::Request& request) {
   // One serialisation: every retry attempt sends identical bytes.
   const std::string payload = api::request_to_wire(request).dump();
   const std::size_t attempts = std::max<std::size_t>(options_.max_attempts, 1);
+  const support::Stopwatch watch;
+  const auto remaining = [this, &watch] {
+    if (options_.call_timeout_ms <= 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(options_.call_timeout_ms) / 1000.0 - watch.seconds();
+  };
   for (std::size_t attempt = 1;; ++attempt) {
     try {
       ensure_connected();
@@ -44,14 +61,14 @@ api::Response Client::call(const api::Request& request) {
     } catch (const api::SaturatedError& error) {
       // The server answered "try later": honour its hint as the floor.
       if (attempt >= attempts) throw;
-      backoff(attempt, std::max(error.retry_after_seconds(), 0.0));
+      backoff(attempt, std::max(error.retry_after_seconds(), 0.0), remaining());
     } catch (const NotFound&) {
       // Connect failed (daemon restarting?) — bounded reconnect.
       if (attempt >= attempts) throw;
-      backoff(attempt, 0.0);
+      backoff(attempt, 0.0, remaining());
     } catch (const ConnectionLost&) {
       if (attempt >= attempts) throw;
-      backoff(attempt, 0.0);
+      backoff(attempt, 0.0, remaining());
     }
     // Anything else — server-side request errors, read timeouts, parse
     // errors on a healthy connection — propagates: a retry would either

@@ -55,6 +55,13 @@ struct ClientOptions {
   double backoff_max_seconds = 2.0;
   /// Seeds the jitter stream (deterministic backoff schedules in tests).
   std::uint64_t jitter_seed = 0x1C5D;
+  /// Overall wall-clock budget per call() across every attempt and the
+  /// backoff sleeps between them; 0 = unbounded.  Each backoff is capped
+  /// at the remaining budget, and a retry that would start past the
+  /// deadline throws DeadlineExceededError instead — a retrying call can
+  /// no longer sleep (jittered, or floored by a server's
+  /// retry_after_seconds hint) beyond the caller's patience.
+  int call_timeout_ms = 0;
 };
 
 class Client {
@@ -95,7 +102,7 @@ class Client {
         jitter_(options.jitter_seed) {}
 
   void ensure_connected();
-  void backoff(std::size_t attempt, double floor_seconds);
+  void backoff(std::size_t attempt, double floor_seconds, double remaining_seconds);
 
   support::Socket socket_;
   support::Endpoint endpoint_;

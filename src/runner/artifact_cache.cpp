@@ -8,6 +8,8 @@ support::Json StageCounters::to_json() const {
   object.set("executed", executed);
   object.set("hits", hits);
   object.set("evicted", evicted);
+  object.set("disk_hits", disk_hits);
+  object.set("disk_writes", disk_writes);
   return object;
 }
 

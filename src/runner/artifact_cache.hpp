@@ -117,10 +117,12 @@ class KeyHasher {
 
 /// Per-stage cache counters (all deterministic, see the header comment).
 struct StageCounters {
-  std::size_t planned = 0;   ///< references in the plan (executed + hits)
+  std::size_t planned = 0;   ///< references in the plan (executed + hits + disk_hits)
   std::size_t executed = 0;  ///< unique stage tasks run
   std::size_t hits = 0;      ///< references served by an already-planned task
   std::size_t evicted = 0;   ///< payloads released after their last planned consumer
+  std::size_t disk_hits = 0;    ///< unique tasks served from the on-disk store
+  std::size_t disk_writes = 0;  ///< records published to the on-disk store
 
   [[nodiscard]] support::Json to_json() const;
 };
@@ -197,10 +199,22 @@ class ArtifactStore {
     }
   }
 
-  /// Post-run counter snapshot (folds the concurrent eviction tally in).
+  /// Planning: a freshly interned task will be served from the on-disk
+  /// store instead of executing — reclassifies it executed → disk_hit.
+  void note_disk_load() noexcept {
+    --counters_.executed;
+    ++counters_.disk_hits;
+  }
+
+  /// Execution: a stage task's record was published to the on-disk store.
+  /// Safe from any thread.
+  void note_disk_write() noexcept { disk_writes_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Post-run counter snapshot (folds the concurrent tallies in).
   [[nodiscard]] StageCounters counters() const noexcept {
     StageCounters counters = counters_;
     counters.evicted = evicted_.load(std::memory_order_relaxed);
+    counters.disk_writes = disk_writes_.load(std::memory_order_relaxed);
     return counters;
   }
 
@@ -209,6 +223,7 @@ class ArtifactStore {
   std::unordered_map<ArtifactKey, std::size_t, ArtifactKey::Hash> index_;
   StageCounters counters_;
   std::atomic<std::size_t> evicted_{0};
+  std::atomic<std::size_t> disk_writes_{0};
 };
 
 }  // namespace icsdiv::runner

@@ -152,13 +152,18 @@ void BatchReport::write_csv(std::ostream& out, bool include_timings) const {
   }
 }
 
-support::Json BatchReport::to_json() const {
+support::Json BatchReport::to_json(bool include_timings) const {
   support::JsonObject root;
-  root.set("threads", threads);
-  root.set("wall_seconds", wall_seconds);
+  if (include_timings) {
+    // The machine-dependent block: worker count, wall clock and cache
+    // counters (disk hits differ between cold and warm runs).  Omitted in
+    // deterministic mode so the document depends on the grid alone.
+    root.set("threads", threads);
+    root.set("wall_seconds", wall_seconds);
+  }
   root.set("cells", results.size());
   root.set("failed", failed_count());
-  root.set("stage_stats", stage_stats.to_json());
+  if (include_timings) root.set("stage_stats", stage_stats.to_json());
 
   support::JsonArray cells;
   for (const ScenarioResult& r : results) {
@@ -195,7 +200,7 @@ support::Json BatchReport::to_json() const {
       // null when every run censored (NaN has no JSON literal).
       attack.set("mttc_uncensored_mean", json_number(r.mttc_uncensored_mean));
       attack.set("censored", r.mttc_censored);
-      attack.set("attack_seconds", r.attack_seconds);
+      if (include_timings) attack.set("attack_seconds", r.attack_seconds);
       cell.set("attack", std::move(attack));
     }
     if (r.metrics_evaluated) {
@@ -206,11 +211,13 @@ support::Json BatchReport::to_json() const {
       metrics.set("d_bn_min", json_number(r.d_bn_min));
       metrics.set("p_with_mean", json_number(r.p_with_mean));
       metrics.set("p_without_mean", json_number(r.p_without_mean));
-      metrics.set("metric_seconds", r.metric_seconds);
+      if (include_timings) metrics.set("metric_seconds", r.metric_seconds);
       cell.set("metrics", std::move(metrics));
     }
-    cell.set("build_seconds", r.build_seconds);
-    cell.set("solve_seconds", r.solve_seconds);
+    if (include_timings) {
+      cell.set("build_seconds", r.build_seconds);
+      cell.set("solve_seconds", r.solve_seconds);
+    }
     cells.emplace_back(std::move(cell));
   }
   root.set("results", std::move(cells));
@@ -269,8 +276,10 @@ support::Json BatchReport::to_json() const {
     entry.set("mean_avg_similarity",
               ok > 0 ? json_number(group.similarity / ok) : support::Json(nullptr));
     entry.set("mean_richness", ok > 0 ? json_number(group.richness / ok) : support::Json(nullptr));
-    entry.set("mean_solve_seconds",
-              ok > 0 ? json_number(group.solve_seconds / ok) : support::Json(nullptr));
+    if (include_timings) {
+      entry.set("mean_solve_seconds",
+                ok > 0 ? json_number(group.solve_seconds / ok) : support::Json(nullptr));
+    }
     if (group.attacked) {
       entry.set("attack_strategy", std::get<2>(key));
       entry.set("attack_detection", std::get<3>(key));

@@ -107,8 +107,12 @@ struct BatchReport {
 
   /// Full report: grid echo, per-cell rows, per-(solver, constraints)
   /// aggregates (mean energy / similarity / seconds over cells), and the
-  /// `stage_stats` block.
-  [[nodiscard]] support::Json to_json() const;
+  /// `stage_stats` block.  `include_timings` off gives the deterministic
+  /// subset — threads, wall-clock, stage stats, per-cell seconds and the
+  /// aggregates' mean_solve_seconds are omitted, so the document is
+  /// byte-identical across runs, thread counts and process shardings
+  /// (the contract `icsdiv_cli batch --merge` byte-diffs against).
+  [[nodiscard]] support::Json to_json(bool include_timings = true) const;
 };
 
 struct BatchOptions {
@@ -125,6 +129,12 @@ struct BatchOptions {
   /// the uncached reference path, bit-identical to reuse by construction
   /// (the determinism test compares the two).
   bool reuse_artifacts = true;
+  /// Directory of the persistent on-disk artifact store (DESIGN.md §13),
+  /// the second cache tier under the in-memory one: stage tasks probe it
+  /// before computing and publish after, so a re-run (or another process
+  /// sharing the directory) skips whole stages.  Empty disables the tier.
+  /// Corrupt/truncated/version-mismatched records fall back to recompute.
+  std::string store_dir;
   /// Called after each cell completes, from the completing thread
   /// (serialise your own side effects); useful for progress dots.
   std::function<void(const ScenarioResult&)> on_result;

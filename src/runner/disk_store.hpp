@@ -1,0 +1,98 @@
+// DiskArtifactStore: the persistent second cache tier under the staged
+// scenario engine (DESIGN.md §13).
+//
+// Stage artifacts — summaries plus, for the reusable prefix stages, the
+// relocatable payload substrates — are stored one record per file under
+// `<dir>/objects/`, named by stage tag and the 128-bit KeyHasher content
+// address the in-memory tier already uses.  Records are read through a
+// memory mapping and validated end to end (magic, format version, stage
+// tag, key echo, section sizes, content checksum) before a single byte is
+// decoded; any mismatch — truncation, corruption, a record written by a
+// different format version — is a cache miss that falls back to
+// recompute, never an error and never torn data.
+//
+// Publishing is crash-atomic: the record is written to a same-directory
+// temp file, fsync'ed, renamed over the final name, and the directory
+// fsync'ed — a reader can only ever observe a complete record or none.
+// Publish failures (disk full, permissions) are swallowed: the store is
+// an accelerator, so a run that cannot persist still completes.
+//
+// The per-store MANIFEST records the store format version; openings and
+// GC serialize on the flock'd `LOCK` sidecar (support::FileLock — the
+// same primitive the unix-socket reclaim uses).  GC runs at open: stale
+// temp files and records past the TTL are removed, then the oldest
+// records (mtime, tie-broken by name) until the store fits the capacity
+// budget.  The manifest's record list is rewritten in sorted order —
+// store files are determinism-critical (tools/lint_invariants.py).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runner/artifact_cache.hpp"
+#include "support/mapped_file.hpp"
+
+namespace icsdiv::runner {
+
+struct DiskStoreOptions {
+  std::string dir;
+  /// GC budget over `objects/` in bytes; 0 = unlimited.
+  std::uint64_t capacity_bytes = 0;
+  /// Records older than this are collected at open; 0 = no TTL.
+  double ttl_seconds = 0.0;
+};
+
+class DiskArtifactStore {
+ public:
+  /// Bumped whenever the record layout or any stage codec changes; a
+  /// version-mismatched record or manifest is a miss, not an error.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Opens (creating as needed) the store and runs GC under the store
+  /// lock.  Throws NotFound when the directories cannot be created; a
+  /// manifest from a different format version disables the store (every
+  /// load misses, every publish no-ops) instead of failing the run.
+  explicit DiskArtifactStore(DiskStoreOptions options);
+
+  /// One validated on-disk record: the summary and payload sections point
+  /// into the held mapping (valid for the Record's lifetime).
+  struct Record {
+    support::MappedFile file;
+    std::string_view summary;
+    std::string_view payload;  ///< empty for summary-only stages
+  };
+
+  /// Probes `key` for `stage`; nullopt on missing, truncated, corrupt or
+  /// version-mismatched records (the recompute fallback).  Never throws.
+  [[nodiscard]] std::optional<Record> load(std::uint32_t stage,
+                                           const ArtifactKey& key) const noexcept;
+
+  /// Atomically publishes a record (write temp + fsync + rename + dir
+  /// fsync).  Returns false — and leaves no partial file — on any
+  /// failure.  Never throws.
+  bool publish(std::uint32_t stage, const ArtifactKey& key, std::string_view summary,
+               std::string_view payload) const noexcept;
+
+  /// False when the manifest belongs to a different format version.
+  [[nodiscard]] bool usable() const noexcept { return usable_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return options_.dir; }
+
+  /// The record file for (stage, key) — exposed for tests that corrupt,
+  /// truncate or backdate records.
+  [[nodiscard]] std::string object_path(std::uint32_t stage, const ArtifactKey& key) const;
+
+  /// Re-runs GC under the store lock (open does this automatically).
+  void collect_garbage() const;
+
+ private:
+  void open_manifest();
+  void collect_garbage_locked() const;
+
+  DiskStoreOptions options_;
+  std::string objects_dir_;
+  bool usable_ = true;
+};
+
+}  // namespace icsdiv::runner

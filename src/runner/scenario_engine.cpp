@@ -8,7 +8,10 @@
 #include "bayes/compiled.hpp"
 #include "core/metrics.hpp"
 #include "core/optimizer.hpp"
+#include "core/serialization.hpp"
+#include "runner/disk_store.hpp"
 #include "sim/compiled.hpp"
+#include "support/bytes.hpp"
 #include "support/cancel.hpp"
 #include "support/failpoint.hpp"
 #include "support/mutex.hpp"
@@ -46,7 +49,11 @@ struct ProblemSummary {
 };
 
 struct SolveArtifact {
-  std::shared_ptr<const ProblemArtifact> problem;  ///< assignment points into it
+  std::shared_ptr<const ProblemArtifact> problem;  ///< assignment points into it (compute path)
+  /// Disk path: a solve record materialises its assignment onto the
+  /// workload's network directly (no problem artifact exists), so the
+  /// workload is the keepalive instead.
+  std::shared_ptr<const WorkloadInstance> workload;
   core::OptimizeOutcome outcome;
 };
 
@@ -86,6 +93,120 @@ struct MetricSummary {
 };
 
 struct NoPayload {};
+
+// ---------------------------------------------------------------------------
+// Disk record codecs (DESIGN.md §13): flat little-endian summaries via
+// support::ByteWriter, whose raw-bit-pattern doubles round-trip
+// bit-identically — including the all-censored attack stage's NaN
+// uncensored mean, which the JSON writer cannot carry.  Decoders throw on
+// malformed input (records are checksummed before decoding, so a throw
+// means a format bug, and the stage body catches it into the cell error).
+
+std::string encode_summary(const WorkloadSummary& s) {
+  support::ByteWriter w;
+  w.u64(s.links).u64(s.variables).f64(s.seconds);
+  return w.take();
+}
+WorkloadSummary decode_workload_summary(std::string_view data) {
+  support::ByteReader r(data);
+  WorkloadSummary s;
+  s.links = r.u64();
+  s.variables = r.u64();
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_workload_summary", "trailing bytes");
+  return s;
+}
+
+std::string encode_summary(const ProblemSummary& s) {
+  support::ByteWriter w;
+  w.f64(s.seconds);
+  return w.take();
+}
+ProblemSummary decode_problem_summary(std::string_view data) {
+  support::ByteReader r(data);
+  ProblemSummary s;
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_problem_summary", "trailing bytes");
+  return s;
+}
+
+std::string encode_summary(const SolveSummary& s) {
+  support::ByteWriter w;
+  w.f64(s.energy)
+      .f64(s.lower_bound)
+      .u64(s.iterations)
+      .boolean(s.converged)
+      .boolean(s.constraints_satisfied)
+      .f64(s.total_similarity)
+      .f64(s.average_similarity)
+      .f64(s.normalized_richness)
+      .f64(s.seconds);
+  return w.take();
+}
+SolveSummary decode_solve_summary(std::string_view data) {
+  support::ByteReader r(data);
+  SolveSummary s;
+  s.energy = r.f64();
+  s.lower_bound = r.f64();
+  s.iterations = r.u64();
+  s.converged = r.boolean();
+  s.constraints_satisfied = r.boolean();
+  s.total_similarity = r.f64();
+  s.average_similarity = r.f64();
+  s.normalized_richness = r.f64();
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_solve_summary", "trailing bytes");
+  return s;
+}
+
+std::string encode_summary(const ChannelsSummary& s) {
+  support::ByteWriter w;
+  w.f64(s.seconds);
+  return w.take();
+}
+ChannelsSummary decode_channels_summary(std::string_view data) {
+  support::ByteReader r(data);
+  ChannelsSummary s;
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_channels_summary", "trailing bytes");
+  return s;
+}
+
+std::string encode_summary(const AttackSummary& s) {
+  support::ByteWriter w;
+  w.u64(s.runs).f64(s.mean).f64(s.uncensored_mean).u64(s.censored).f64(s.seconds);
+  return w.take();
+}
+AttackSummary decode_attack_summary(std::string_view data) {
+  support::ByteReader r(data);
+  AttackSummary s;
+  s.runs = r.u64();
+  s.mean = r.f64();
+  s.uncensored_mean = r.f64();
+  s.censored = r.u64();
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_attack_summary", "trailing bytes");
+  return s;
+}
+
+std::string encode_summary(const MetricSummary& s) {
+  support::ByteWriter w;
+  w.u64(s.pairs).f64(s.d_bn_mean).f64(s.d_bn_min).f64(s.p_with_mean).f64(s.p_without_mean).f64(
+      s.seconds);
+  return w.take();
+}
+MetricSummary decode_metric_summary(std::string_view data) {
+  support::ByteReader r(data);
+  MetricSummary s;
+  s.pairs = r.u64();
+  s.d_bn_mean = r.f64();
+  s.d_bn_min = r.f64();
+  s.p_with_mean = r.f64();
+  s.p_without_mean = r.f64();
+  s.seconds = r.f64();
+  require(r.exhausted(), "decode_metric_summary", "trailing bytes");
+  return s;
+}
 
 using WorkloadStore = ArtifactStore<WorkloadInstance, WorkloadSummary>;
 using ProblemStore = ArtifactStore<ProblemArtifact, ProblemSummary>;
@@ -273,7 +394,8 @@ void run_solve_stage(SolveStore::Slot& slot, ProblemStore& problems, std::size_t
       slot.summary.total_similarity = outcome.pairwise_similarity;
       slot.summary.average_similarity = core::average_edge_similarity(outcome.assignment);
       slot.summary.normalized_richness = core::normalized_effective_richness(outcome.assignment);
-      slot.payload = std::make_shared<SolveArtifact>(SolveArtifact{problem, std::move(outcome)});
+      slot.payload =
+          std::make_shared<SolveArtifact>(SolveArtifact{problem, nullptr, std::move(outcome)});
       slot.summary.seconds = watch.seconds();
     } catch (const std::exception& error) {
       slot.error = error.what();
@@ -527,11 +649,30 @@ struct CellPlan {
   std::size_t metric = kNoStage;
 };
 
+/// Planning-time disposition of one freshly interned store slot: whether
+/// its result comes from a validated on-disk record or a computation,
+/// whether any consumer needs the payload materialised, and the wiring
+/// its task body needs (the first-interning cell's spec, parent slots).
+/// Indexed in parallel with the store's slots (fresh interns append).
+struct SlotPlan {
+  bool from_disk = false;
+  bool payload_wanted = false;
+  DiskArtifactStore::Record record;  ///< validated mapping when from_disk
+  const ScenarioSpec* spec = nullptr;
+  bool parallel = false;
+  std::size_t parent = kNoStage;    ///< slot in the parent stage's store
+  std::size_t workload = kNoStage;  ///< solve only: the root workload slot
+};
+
 }  // namespace
 
 std::size_t resolve_batch_threads(std::size_t requested) noexcept {
   if (requested != 0) return requested;
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ArtifactKey scenario_solve_key(const ScenarioSpec& spec) {
+  return solve_key(problem_key(workload_key(spec), spec), spec);
 }
 
 ScenarioEngine::ScenarioEngine(BatchOptions options) : options_(std::move(options)) {}
@@ -552,12 +693,18 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
   AttackStore attacks;
   MetricStore metrics;
 
+  // The optional persistent tier (DESIGN.md §13).  A manifest from a
+  // different format version disables it — every probe then misses.
+  std::optional<DiskArtifactStore> disk_storage;
+  if (!options_.store_dir.empty()) disk_storage.emplace(DiskStoreOptions{options_.store_dir});
+  const DiskArtifactStore* disk =
+      disk_storage && disk_storage->usable() ? &*disk_storage : nullptr;
+
   std::deque<Task> tasks;
   std::vector<CellPlan> cells(specs.size());
-  // Stage-task index per store slot (slots and their producing tasks are
-  // created together, so these stay parallel to each store).
-  std::vector<std::size_t> workload_task, problem_task, solve_task, channels_task, attack_task,
-      metric_task;
+  // Slot plans, parallel to each store's slots (deque: task bodies hold
+  // references into them).
+  std::deque<SlotPlan> wplan, pplan, splan, chplan, aplan, mplan;
 
   const auto add_task = [&](std::function<void()> body,
                             const std::vector<std::size_t>& parents) {
@@ -569,7 +716,21 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
     return index;
   };
 
-  // -------------------------------------------------------------- planning
+  // ------------------------------------------------------ phase A: interning
+  // Walk the cells once, interning slots and probing the disk tier for
+  // each freshly interned key.  A probe maps and fully validates the
+  // record here, at plan time — execution can only decode, not discover
+  // corruption.  No tasks yet: whether a slot's task computes or decodes
+  // (and which parent payloads it therefore needs) is only known after
+  // every cell is planned, so task wiring happens in phase B.
+  const auto probe = [disk](StageTag stage, const ArtifactKey& key, SlotPlan& plan) {
+    if (disk == nullptr) return;
+    if (auto record = disk->load(static_cast<std::uint32_t>(stage), key)) {
+      plan.from_disk = true;
+      plan.record = std::move(*record);
+    }
+  };
+
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const ScenarioSpec& spec = specs[i];
     CellPlan& cell = cells[i];
@@ -579,36 +740,29 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
     const ArtifactKey wkey = workload_key(spec);
     cell.workload = workloads.intern(wkey, reuse, fresh);
     if (fresh) {
-      WorkloadStore::Slot& slot = workloads.at(cell.workload);
-      workload_task.push_back(add_task(
-          [&slot, &spec, this] {
-            run_workload_stage(slot, spec.workload, spec.seed, options_.cancel);
-          },
-          {}));
+      SlotPlan& plan = wplan.emplace_back();
+      plan.spec = &spec;
+      probe(StageTag::Workload, wkey, plan);
     }
 
     const ArtifactKey pkey = problem_key(wkey, spec);
     cell.problem = problems.intern(pkey, reuse, fresh);
     if (fresh) {
-      workloads.add_consumer(cell.workload);
-      ProblemStore::Slot& slot = problems.at(cell.problem);
-      problem_task.push_back(add_task(
-          [&slot, &workloads, workload_slot = cell.workload, &spec, this] {
-            run_problem_stage(slot, workloads, workload_slot, spec.constraints, options_.cancel);
-          },
-          {workload_task[cell.workload]}));
+      SlotPlan& plan = pplan.emplace_back();
+      plan.spec = &spec;
+      plan.parent = cell.workload;
+      probe(StageTag::Problem, pkey, plan);
     }
 
     const ArtifactKey skey = solve_key(pkey, spec);
     cell.solve = solves.intern(skey, reuse, fresh);
     if (fresh) {
-      problems.add_consumer(cell.problem);
-      SolveStore::Slot& slot = solves.at(cell.solve);
-      solve_task.push_back(add_task(
-          [&slot, &problems, problem_slot = cell.problem, &spec, parallel, this] {
-            run_solve_stage(slot, problems, problem_slot, spec, parallel, options_.cancel);
-          },
-          {problem_task[cell.problem]}));
+      SlotPlan& plan = splan.emplace_back();
+      plan.spec = &spec;
+      plan.parallel = parallel;
+      plan.parent = cell.problem;
+      plan.workload = cell.workload;
+      probe(StageTag::Solve, skey, plan);
     }
 
     // Every cell's finalize releases the solve payload once, so solve
@@ -617,53 +771,329 @@ BatchReport ScenarioEngine::run(const std::vector<ScenarioSpec>& specs) const {
     // batch — the pre-refactor per-cell lifetime, kept.
     solves.add_consumer(cell.solve);
 
-    std::vector<std::size_t> leaves{solve_task[cell.solve]};
     if (spec.attack) {
       // The channel pools depend on the model only — every strategy /
       // detection / horizon combination shares them.
-      const bayes::PropagationModel model = sim::SimulationParams{}.model;
-      const ArtifactKey chkey = channels_key(skey, model);
+      const ArtifactKey chkey = channels_key(skey, sim::SimulationParams{}.model);
       cell.channels = channels.intern(chkey, reuse, fresh);
       if (fresh) {
-        solves.add_consumer(cell.solve);
-        ChannelsStore::Slot& slot = channels.at(cell.channels);
-        channels_task.push_back(add_task(
-            [&slot, &solves, solve_slot = cell.solve, model, this] {
-              run_channels_stage(slot, solves, solve_slot, model, options_.cancel);
-            },
-            {solve_task[cell.solve]}));
+        SlotPlan& plan = chplan.emplace_back();
+        plan.spec = &spec;
+        plan.parent = cell.solve;
+        probe(StageTag::Channels, chkey, plan);
       }
 
       const ArtifactKey akey = attack_key(chkey, *spec.attack);
       cell.attack = attacks.intern(akey, reuse, fresh);
       if (fresh) {
-        channels.add_consumer(cell.channels);
-        AttackStore::Slot& slot = attacks.at(cell.attack);
-        attack_task.push_back(add_task(
-            [&slot, &channels, channels_slot = cell.channels, &attack = *spec.attack, parallel,
-             this] {
-              run_attack_stage(slot, channels, channels_slot, attack, parallel, options_.cancel);
-            },
-            {channels_task[cell.channels]}));
+        SlotPlan& plan = aplan.emplace_back();
+        plan.spec = &spec;
+        plan.parallel = parallel;
+        plan.parent = cell.channels;
+        probe(StageTag::Attack, akey, plan);
       }
-      leaves.push_back(attack_task[cell.attack]);
     }
 
     if (spec.metrics) {
       const ArtifactKey mkey = metric_key(skey, *spec.metrics);
       cell.metric = metrics.intern(mkey, reuse, fresh);
       if (fresh) {
-        solves.add_consumer(cell.solve);
-        MetricStore::Slot& slot = metrics.at(cell.metric);
-        metric_task.push_back(add_task(
-            [&slot, &solves, solve_slot = cell.solve, &metric_spec = *spec.metrics, parallel,
-             this] {
-              run_metric_stage(slot, solves, solve_slot, metric_spec, parallel, options_.cancel);
-            },
-            {solve_task[cell.solve]}));
+        SlotPlan& plan = mplan.emplace_back();
+        plan.spec = &spec;
+        plan.parallel = parallel;
+        plan.parent = cell.solve;
+        probe(StageTag::Metric, mkey, plan);
       }
-      leaves.push_back(metric_task[cell.metric]);
     }
+  }
+
+  // ------------------------------------------- phase A: disk dispositions
+  // Downstream-first payload propagation: a stage that will *compute*
+  // needs its parent's payload materialised.  A solve served from disk
+  // decodes its assignment onto the workload's network directly (no
+  // problem artifact exists on that path), so it wants the workload
+  // payload instead of the problem's.  Problem records are summary-only —
+  // a problem whose payload is wanted upgrades back to compute.  Workload
+  // and channels records carry their payloads, so they never upgrade, and
+  // the propagation terminates in one pass (wants only flow upstream).
+  for (SlotPlan& plan : aplan) {
+    if (!plan.from_disk) chplan[plan.parent].payload_wanted = true;
+  }
+  for (SlotPlan& plan : mplan) {
+    if (!plan.from_disk) splan[plan.parent].payload_wanted = true;
+  }
+  for (SlotPlan& plan : chplan) {
+    if (!plan.from_disk) splan[plan.parent].payload_wanted = true;
+  }
+  for (SlotPlan& plan : splan) {
+    if (!plan.from_disk) {
+      pplan[plan.parent].payload_wanted = true;
+    } else if (plan.payload_wanted) {
+      wplan[plan.workload].payload_wanted = true;
+    }
+  }
+  for (SlotPlan& plan : pplan) {
+    if (plan.from_disk && plan.payload_wanted) {
+      plan.from_disk = false;  // a summary-only record cannot serve the payload
+      plan.record.file.reset();
+    }
+    if (!plan.from_disk) wplan[plan.parent].payload_wanted = true;
+  }
+
+  const auto note_disk_loads = [](auto& store, const std::deque<SlotPlan>& plans) {
+    for (const SlotPlan& plan : plans) {
+      if (plan.from_disk) store.note_disk_load();
+    }
+  };
+  note_disk_loads(workloads, wplan);
+  note_disk_loads(problems, pplan);
+  note_disk_loads(solves, splan);
+  note_disk_loads(channels, chplan);
+  note_disk_loads(attacks, aplan);
+  note_disk_loads(metrics, mplan);
+
+  // ------------------------------------------------- phase B: task wiring
+  // One producing task per slot, created in stage order from the final
+  // dispositions.  Compute tasks run the stage body and then publish the
+  // record; disk tasks decode the plan-time-validated record (and
+  // materialise the payload only when a consumer wants it).  Consumer
+  // refcounts are registered here, from the final dispositions — a
+  // disk-served stage holds no reference to its parent's payload.
+  std::vector<std::size_t> workload_task(wplan.size()), problem_task(pplan.size()),
+      solve_task(splan.size()), channels_task(chplan.size()), attack_task(aplan.size()),
+      metric_task(mplan.size());
+
+  for (std::size_t s = 0; s < wplan.size(); ++s) {
+    SlotPlan& plan = wplan[s];
+    WorkloadStore::Slot& slot = workloads.at(s);
+    if (plan.from_disk) {
+      workload_task[s] = add_task(
+          [&slot, &plan, this] {
+            try {
+              options_.cancel.check("stage.workload");
+              slot.summary = decode_workload_summary(plan.record.summary);
+              if (plan.payload_wanted) {
+                const support::Json doc = support::Json::parse(plan.record.payload);
+                auto instance = std::make_shared<WorkloadInstance>();
+                instance->catalog = std::make_unique<core::ProductCatalog>(
+                    core::catalog_from_json(doc.as_object().at("catalog")));
+                instance->network = std::make_unique<core::Network>(core::network_from_json(
+                    *instance->catalog, doc.as_object().at("network")));
+                slot.payload = std::move(instance);
+              }
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+          },
+          {});
+    } else {
+      workload_task[s] = add_task(
+          [&slot, &plan, &workloads, disk, this] {
+            run_workload_stage(slot, plan.spec->workload, plan.spec->seed, options_.cancel);
+            if (disk != nullptr && slot.error.empty()) {
+              support::JsonObject doc;
+              doc.set("catalog", core::catalog_to_json(*slot.payload->catalog));
+              doc.set("network", core::network_to_json(*slot.payload->network));
+              if (disk->publish(static_cast<std::uint32_t>(StageTag::Workload), slot.key,
+                                encode_summary(slot.summary), support::Json(doc).dump())) {
+                workloads.note_disk_write();
+              }
+            }
+          },
+          {});
+    }
+  }
+
+  for (std::size_t s = 0; s < pplan.size(); ++s) {
+    SlotPlan& plan = pplan[s];
+    ProblemStore::Slot& slot = problems.at(s);
+    if (plan.from_disk) {
+      problem_task[s] = add_task(
+          [&slot, &plan, this] {
+            try {
+              options_.cancel.check("stage.problem");
+              slot.summary = decode_problem_summary(plan.record.summary);
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+          },
+          {});
+    } else {
+      workloads.add_consumer(plan.parent);
+      problem_task[s] = add_task(
+          [&slot, &plan, &workloads, &problems, disk, this] {
+            run_problem_stage(slot, workloads, plan.parent, plan.spec->constraints,
+                              options_.cancel);
+            if (disk != nullptr && slot.error.empty() &&
+                disk->publish(static_cast<std::uint32_t>(StageTag::Problem), slot.key,
+                              encode_summary(slot.summary), {})) {
+              problems.note_disk_write();
+            }
+          },
+          {workload_task[plan.parent]});
+    }
+  }
+
+  for (std::size_t s = 0; s < splan.size(); ++s) {
+    SlotPlan& plan = splan[s];
+    SolveStore::Slot& slot = solves.at(s);
+    if (plan.from_disk) {
+      std::vector<std::size_t> parents;
+      if (plan.payload_wanted) {
+        // Materialising the assignment needs the workload's network (and
+        // keeps the workload alive for the artifact's lifetime).
+        workloads.add_consumer(plan.workload);
+        parents.push_back(workload_task[plan.workload]);
+      }
+      solve_task[s] = add_task(
+          [&slot, &plan, &workloads, this] {
+            try {
+              options_.cancel.check("stage.solve");
+              slot.summary = decode_solve_summary(plan.record.summary);
+              if (plan.payload_wanted) {
+                const WorkloadStore::Slot& parent = workloads.at(plan.workload);
+                if (!parent.error.empty()) throw Error(parent.error);
+                std::shared_ptr<const WorkloadInstance> workload = parent.payload;
+                const support::Json doc = support::Json::parse(plan.record.payload);
+                core::OptimizeOutcome outcome{
+                    core::Assignment::from_json(*workload->network, doc),
+                    {},
+                    slot.summary.total_similarity,
+                    slot.summary.constraints_satisfied};
+                outcome.solve.energy = slot.summary.energy;
+                outcome.solve.lower_bound = slot.summary.lower_bound;
+                outcome.solve.iterations = slot.summary.iterations;
+                outcome.solve.converged = slot.summary.converged;
+                slot.payload = std::make_shared<SolveArtifact>(
+                    SolveArtifact{nullptr, std::move(workload), std::move(outcome)});
+              }
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+            if (plan.payload_wanted) workloads.release(plan.workload);
+          },
+          parents);
+    } else {
+      problems.add_consumer(plan.parent);
+      solve_task[s] = add_task(
+          [&slot, &plan, &problems, &solves, disk, this] {
+            run_solve_stage(slot, problems, plan.parent, *plan.spec, plan.parallel,
+                            options_.cancel);
+            if (disk != nullptr && slot.error.empty() &&
+                disk->publish(static_cast<std::uint32_t>(StageTag::Solve), slot.key,
+                              encode_summary(slot.summary),
+                              slot.payload->outcome.assignment.to_json().dump())) {
+              solves.note_disk_write();
+            }
+          },
+          {problem_task[plan.parent]});
+    }
+  }
+
+  for (std::size_t s = 0; s < chplan.size(); ++s) {
+    SlotPlan& plan = chplan[s];
+    ChannelsStore::Slot& slot = channels.at(s);
+    if (plan.from_disk) {
+      channels_task[s] = add_task(
+          [&slot, &plan, this] {
+            try {
+              options_.cancel.check("stage.channels");
+              slot.summary = decode_channels_summary(plan.record.summary);
+              if (plan.payload_wanted) {
+                slot.payload = std::make_shared<const sim::PropagationChannels>(
+                    sim::PropagationChannels::deserialize(plan.record.payload));
+              }
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+          },
+          {});
+    } else {
+      solves.add_consumer(plan.parent);
+      channels_task[s] = add_task(
+          [&slot, &plan, &solves, &channels, disk, this] {
+            run_channels_stage(slot, solves, plan.parent, sim::SimulationParams{}.model,
+                               options_.cancel);
+            if (disk != nullptr && slot.error.empty() &&
+                disk->publish(static_cast<std::uint32_t>(StageTag::Channels), slot.key,
+                              encode_summary(slot.summary), slot.payload->serialize())) {
+              channels.note_disk_write();
+            }
+          },
+          {solve_task[plan.parent]});
+    }
+  }
+
+  for (std::size_t s = 0; s < aplan.size(); ++s) {
+    SlotPlan& plan = aplan[s];
+    AttackStore::Slot& slot = attacks.at(s);
+    if (plan.from_disk) {
+      attack_task[s] = add_task(
+          [&slot, &plan, this] {
+            try {
+              options_.cancel.check("stage.attack");
+              slot.summary = decode_attack_summary(plan.record.summary);
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+          },
+          {});
+    } else {
+      channels.add_consumer(plan.parent);
+      attack_task[s] = add_task(
+          [&slot, &plan, &channels, &attacks, disk, this] {
+            run_attack_stage(slot, channels, plan.parent, *plan.spec->attack, plan.parallel,
+                             options_.cancel);
+            if (disk != nullptr && slot.error.empty() &&
+                disk->publish(static_cast<std::uint32_t>(StageTag::Attack), slot.key,
+                              encode_summary(slot.summary), {})) {
+              attacks.note_disk_write();
+            }
+          },
+          {channels_task[plan.parent]});
+    }
+  }
+
+  for (std::size_t s = 0; s < mplan.size(); ++s) {
+    SlotPlan& plan = mplan[s];
+    MetricStore::Slot& slot = metrics.at(s);
+    if (plan.from_disk) {
+      metric_task[s] = add_task(
+          [&slot, &plan, this] {
+            try {
+              options_.cancel.check("stage.metric");
+              slot.summary = decode_metric_summary(plan.record.summary);
+            } catch (const std::exception& error) {
+              slot.error = error.what();
+            }
+            plan.record.file.reset();
+          },
+          {});
+    } else {
+      solves.add_consumer(plan.parent);
+      metric_task[s] = add_task(
+          [&slot, &plan, &solves, &metrics, disk, this] {
+            run_metric_stage(slot, solves, plan.parent, *plan.spec->metrics, plan.parallel,
+                             options_.cancel);
+            if (disk != nullptr && slot.error.empty() &&
+                disk->publish(static_cast<std::uint32_t>(StageTag::Metric), slot.key,
+                              encode_summary(slot.summary), {})) {
+              metrics.note_disk_write();
+            }
+          },
+          {solve_task[plan.parent]});
+    }
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::vector<std::size_t> leaves{solve_task[cells[i].solve]};
+    if (cells[i].attack != kNoStage) leaves.push_back(attack_task[cells[i].attack]);
+    if (cells[i].metric != kNoStage) leaves.push_back(metric_task[cells[i].metric]);
 
     // Finalize: assemble the report row from the stage summaries and fire
     // on_result from the completing thread — a cell "completes" when its

@@ -42,6 +42,12 @@ namespace icsdiv::runner {
 /// scheduler, so the two can never disagree).
 [[nodiscard]] std::size_t resolve_batch_threads(std::size_t requested) noexcept;
 
+/// The cell's solve-stage content address (the workload → problem → solve
+/// key chain): cells with equal keys share their entire solve prefix, so
+/// this is the shard-ownership key of the multi-process batch (shard.hpp)
+/// and the name solve records carry in the on-disk store.
+[[nodiscard]] ArtifactKey scenario_solve_key(const ScenarioSpec& spec);
+
 class ScenarioEngine {
  public:
   explicit ScenarioEngine(BatchOptions options = {});

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "support/bytes.hpp"
 #include "support/thread_pool.hpp"
 
 namespace icsdiv::sim {
@@ -84,6 +85,44 @@ PropagationChannels::PropagationChannels(const core::Assignment& assignment,
     }
   }
   pick_begin_[link_count] = static_cast<std::uint32_t>(pick_pool_.size());
+}
+
+std::string PropagationChannels::serialize() const {
+  support::ByteWriter writer;
+  writer.f64(model_.p_avg);
+  writer.f64(model_.similarity_weight);
+  writer.boolean(model_.consider_similarity);
+  writer.u64(host_count_);
+  writer.u64(max_degree_);
+  writer.u32_span(offsets_);
+  writer.u32_span(link_to_);
+  writer.u64_span(link_best_threshold_);
+  writer.u32_span(pick_begin_);
+  writer.u64_span(pick_pool_);
+  return writer.take();
+}
+
+PropagationChannels PropagationChannels::deserialize(std::string_view data) {
+  support::ByteReader reader(data);
+  PropagationChannels channels;
+  channels.model_.p_avg = reader.f64();
+  channels.model_.similarity_weight = reader.f64();
+  channels.model_.consider_similarity = reader.boolean();
+  channels.host_count_ = reader.u64();
+  channels.max_degree_ = reader.u64();
+  channels.offsets_ = reader.u32_span<std::uint32_t>();
+  channels.link_to_ = reader.u32_span<core::HostId>();
+  channels.link_best_threshold_ = reader.u64_span();
+  channels.pick_begin_ = reader.u32_span<std::uint32_t>();
+  channels.pick_pool_ = reader.u64_span();
+  require(reader.exhausted(), "PropagationChannels::deserialize", "trailing bytes");
+  require(channels.offsets_.size() == channels.host_count_ + 1,
+          "PropagationChannels::deserialize", "offset table size mismatch");
+  require(channels.pick_begin_.size() == channels.link_to_.size() + 1,
+          "PropagationChannels::deserialize", "pick table size mismatch");
+  require(channels.link_best_threshold_.size() == channels.link_to_.size(),
+          "PropagationChannels::deserialize", "threshold table size mismatch");
+  return channels;
 }
 
 namespace {

@@ -75,6 +75,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bayes/propagation.hpp"
@@ -169,8 +171,20 @@ class PropagationChannels {
   [[nodiscard]] std::size_t host_count() const noexcept { return host_count_; }
   [[nodiscard]] std::size_t link_count() const noexcept { return link_to_.size(); }
 
+  /// Flat relocatable encoding of the compiled tables (support::ByteWriter
+  /// format) — the payload the on-disk artifact store persists for the
+  /// channels stage.  deserialize() round-trips bit-identically.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Rebuilds a channel table from serialize() output.  Throws
+  /// InvalidArgument on malformed input (the store checksums records
+  /// before decoding, so this indicates a format bug).
+  [[nodiscard]] static PropagationChannels deserialize(std::string_view data);
+
  private:
   friend class CompiledPropagation;
+
+  PropagationChannels() = default;  ///< deserialize() fills the fields
 
   bayes::PropagationModel model_;
   std::size_t host_count_ = 0;

@@ -1,0 +1,133 @@
+// Flat little-endian byte codecs for the on-disk artifact store
+// (runner/disk_store.hpp) and the relocatable simulation substrates
+// (sim::PropagationChannels::serialize).
+//
+// The encoding is deliberately dumb: fixed-width unsigned words and raw
+// IEEE-754 bit patterns, length-prefixed blobs, no alignment, no varints.
+// Doubles round-trip bit-exactly — including NaN payloads, which the JSON
+// writer cannot represent (support/json.cpp throws on non-finite dump) —
+// so a summary decoded from disk is indistinguishable from the freshly
+// computed one, the property the store's bit-identity tests pin down.
+// Reads are bounds-checked and throw past the end; store
+// records are checksummed before decoding, so a throw here means a
+// format bug, not disk corruption.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+/// Appends fixed-width little-endian words to a growing byte string.
+class ByteWriter {
+ public:
+  ByteWriter& u32(std::uint32_t value) { return word(value, 4); }
+  ByteWriter& u64(std::uint64_t value) { return word(value, 8); }
+  ByteWriter& f64(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return u64(bits);
+  }
+  ByteWriter& boolean(bool value) { return word(value ? 1 : 0, 1); }
+  /// Unprefixed bytes (fixed-size fields like magic numbers).
+  ByteWriter& raw(std::string_view value) {
+    buffer_.append(value.data(), value.size());
+    return *this;
+  }
+  /// Length-prefixed blob (u64 size + raw bytes).
+  ByteWriter& bytes(std::string_view value) {
+    u64(value.size());
+    buffer_.append(value.data(), value.size());
+    return *this;
+  }
+  template <typename T>
+  ByteWriter& u32_span(const std::vector<T>& values) {
+    static_assert(sizeof(T) == 4);
+    u64(values.size());
+    for (const T value : values) u32(static_cast<std::uint32_t>(value));
+    return *this;
+  }
+  ByteWriter& u64_span(const std::vector<std::uint64_t>& values) {
+    u64(values.size());
+    for (const std::uint64_t value : values) u64(value);
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return buffer_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
+
+ private:
+  ByteWriter& word(std::uint64_t value, int width) {
+    for (int i = 0; i < width; ++i) {
+      buffer_.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+    }
+    return *this;
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a byte span written by ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(word(4)); }
+  [[nodiscard]] std::uint64_t u64() { return word(8); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+  [[nodiscard]] bool boolean() { return word(1) != 0; }
+  [[nodiscard]] std::string_view bytes() {
+    const std::uint64_t size = u64();
+    require(size <= data_.size() - offset_, "ByteReader", "blob extends past the buffer");
+    const std::string_view view = data_.substr(offset_, size);
+    offset_ += size;
+    return view;
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> u32_span() {
+    static_assert(sizeof(T) == 4);
+    const std::uint64_t size = u64();
+    require(size <= (data_.size() - offset_) / 4, "ByteReader", "span extends past the buffer");
+    std::vector<T> values(size);
+    for (std::uint64_t i = 0; i < size; ++i) values[i] = static_cast<T>(u32());
+    return values;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> u64_span() {
+    const std::uint64_t size = u64();
+    require(size <= (data_.size() - offset_) / 8, "ByteReader", "span extends past the buffer");
+    std::vector<std::uint64_t> values(size);
+    for (std::uint64_t i = 0; i < size; ++i) values[i] = u64();
+    return values;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return offset_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
+
+ private:
+  [[nodiscard]] std::uint64_t word(int width) {
+    require(static_cast<std::size_t>(width) <= data_.size() - offset_, "ByteReader",
+            "read past the end of the buffer");
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[offset_ + i]))
+               << (8 * i);
+    }
+    offset_ += static_cast<std::size_t>(width);
+    return value;
+  }
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace icsdiv::support

@@ -1,0 +1,44 @@
+#include "support/file_lock.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+FileLock FileLock::acquire(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw NotFound("cannot open lock file " + path + ": " + std::strerror(errno));
+  }
+  while (::flock(fd, LOCK_EX) != 0) {
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    throw NotFound("cannot lock " + path + ": " + std::strerror(saved));
+  }
+  return FileLock(fd);
+}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileLock::release() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the descriptor drops the flock
+    fd_ = -1;
+  }
+}
+
+}  // namespace icsdiv::support

@@ -1,0 +1,44 @@
+// RAII advisory file lock (flock), the mutual-exclusion primitive shared
+// by the on-disk artifact store (runner/disk_store.cpp — manifest
+// rewrites and GC run under it) and the unix-socket stale-file reclaim
+// (support/socket.cpp — probe/unlink/bind/listen is serialized through
+// the same kind of sidecar, closing the check-then-unlink-then-bind race
+// between two daemons started concurrently).
+//
+// The lock file is created on demand and deliberately never unlinked:
+// removing a lock file while another process holds (or is about to
+// acquire) its flock reintroduces exactly the race the lock exists to
+// close — two processes can then hold "the" lock on different inodes.
+// A kernel flock dies with its owner, so a crashed holder never wedges
+// the path.
+#pragma once
+
+#include <string>
+
+namespace icsdiv::support {
+
+class FileLock {
+ public:
+  /// Opens (creating if needed) `path` and takes an exclusive flock,
+  /// blocking until the current holder releases.  Throws NotFound when
+  /// the lock file cannot be opened.
+  [[nodiscard]] static FileLock acquire(const std::string& path);
+
+  FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() { release(); }
+
+  [[nodiscard]] bool held() const noexcept { return fd_ >= 0; }
+
+  /// Drops the lock early (idempotent; the destructor calls it too).
+  void release() noexcept;
+
+ private:
+  explicit FileLock(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace icsdiv::support

@@ -1,0 +1,64 @@
+#include "support/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace icsdiv::support {
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw NotFound("cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat status {};
+  if (::fstat(fd, &status) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw NotFound("cannot stat " + path + ": " + std::strerror(saved));
+  }
+  const auto size = static_cast<std::size_t>(status.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (mapping == MAP_FAILED) {
+    throw NotFound("cannot mmap " + path + ": " + std::strerror(saved));
+  }
+  return MappedFile(static_cast<const char*>(mapping), size);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace icsdiv::support

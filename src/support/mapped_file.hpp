@@ -1,0 +1,45 @@
+// RAII read-only memory mapping, the zero-copy read path of the on-disk
+// artifact store (runner/disk_store.cpp).
+//
+// A store probe maps the whole record, validates its header and checksum
+// against the mapped bytes, and hands the mapping to the execution task
+// that deserializes from it — no intermediate copy, and an artifact
+// unlinked by a concurrent GC stays readable through the mapping until
+// the last holder drops it (POSIX keeps the inode alive).  Empty files
+// map to an empty view without calling mmap (mmap rejects length 0).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace icsdiv::support {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws NotFound when the file cannot be
+  /// opened, stat'ed or mapped.
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  MappedFile() noexcept = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { reset(); }
+
+  [[nodiscard]] const char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::string_view view() const noexcept { return {data_, size_}; }
+
+  /// Unmaps early (idempotent; the destructor calls it too).
+  void reset() noexcept;
+
+ private:
+  MappedFile(const char* data, std::size_t size) noexcept : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace icsdiv::support

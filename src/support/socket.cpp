@@ -13,6 +13,7 @@
 
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
+#include "support/file_lock.hpp"
 
 namespace icsdiv::support {
 
@@ -233,6 +234,18 @@ Listener Listener::listen(const Endpoint& endpoint, int backlog) {
   const int fd = open_socket(endpoint.kind);
   try {
     if (endpoint.kind == Endpoint::Kind::Unix) {
+      // Serialize the whole probe-unlink-bind-listen sequence on a flock'd
+      // sidecar (`<path>.lock`): two listeners racing for one stale socket
+      // file used to interleave check-then-unlink-then-bind, so both could
+      // see the file stale, and the second unlink would delete the first
+      // winner's *fresh* socket — both daemons then "listen" but only one
+      // is reachable.  The lock also covers the bind-to-listen window,
+      // where a probing rival would read the half-set-up socket as stale
+      // (connect to a bound-but-not-listening socket is refused).  The
+      // kernel drops the lock with the process, so a crashed daemon never
+      // wedges the path; the sidecar itself is never unlinked (removing it
+      // would reintroduce the race for the next pair of racers).
+      const FileLock lock = FileLock::acquire(endpoint.path + ".lock");
       const sockaddr_un address = unix_address(endpoint.path);
       const auto* raw = reinterpret_cast<const sockaddr*>(&address);
       if (::bind(fd, raw, sizeof(address)) != 0) {
@@ -250,6 +263,7 @@ Listener Listener::listen(const Endpoint& endpoint, int backlog) {
           throw_errno("bind " + endpoint.to_string());
         }
       }
+      if (::listen(fd, backlog) != 0) throw_errno("listen " + endpoint.to_string());
     } else {
       const int reuse = 1;
       ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
@@ -262,8 +276,8 @@ Listener Listener::listen(const Endpoint& endpoint, int backlog) {
       if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &length) == 0) {
         listener.local_.port = ntohs(actual.sin_port);
       }
+      if (::listen(fd, backlog) != 0) throw_errno("listen " + endpoint.to_string());
     }
-    if (::listen(fd, backlog) != 0) throw_errno("listen " + endpoint.to_string());
   } catch (...) {
     ::close(fd);
     throw;

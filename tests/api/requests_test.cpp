@@ -66,6 +66,8 @@ TEST(RequestWire, RoundTripsEveryRequestType) {
   batch.grid = doc(R"({"name":"g","hosts":[8]})");
   batch.threads = 3;
   expect_request_round_trip(batch);
+  batch.store_dir = "/var/cache/icsdiv/store";
+  expect_request_round_trip(batch);
 
   MetricRequest metric;
   metric.catalog = doc("{}");

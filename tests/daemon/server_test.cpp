@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -369,6 +370,93 @@ TEST(DaemonServer, StaleSocketFileIsReclaimed) {
   Server second(unix_options(socket_path));
   EXPECT_THROW(second.start(), InvalidArgument);
   first.shutdown();
+}
+
+TEST(DaemonServer, StaleSocketReclaimRaceAdmitsExactlyOneListener) {
+  // The regression this pins down: two listeners racing for one stale
+  // socket file used to interleave check-then-unlink-then-bind, so the
+  // loser could unlink the winner's *fresh* socket — both "listening",
+  // one unreachable.  The flock'd sidecar serializes the sequence: one
+  // winner, every loser told the socket is in use.
+  const std::string socket_path = unique_socket_path("stale_race");
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::snprintf(address.sun_path, sizeof(address.sun_path), "%s", socket_path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+    ::close(fd);  // crash simulation: bound file left behind, nobody listening
+  }
+
+  constexpr std::size_t kRacers = 8;
+  const support::Endpoint endpoint = support::Endpoint::parse("unix:" + socket_path);
+  std::vector<std::future<std::optional<support::Listener>>> racers;
+  racers.reserve(kRacers);
+  std::promise<void> start;
+  std::shared_future<void> go(start.get_future());
+  for (std::size_t i = 0; i < kRacers; ++i) {
+    racers.push_back(std::async(std::launch::async, [&]() -> std::optional<support::Listener> {
+      go.wait();
+      try {
+        return support::Listener::listen(endpoint);
+      } catch (const InvalidArgument&) {
+        return std::nullopt;  // probed a live winner — the correct refusal
+      }
+    }));
+  }
+  start.set_value();
+
+  std::optional<support::Listener> winner;
+  std::size_t winners = 0;
+  for (auto& racer : racers) {
+    std::optional<support::Listener> listener = racer.get();
+    if (listener.has_value()) {
+      ++winners;
+      winner = std::move(listener);
+    }
+  }
+  ASSERT_EQ(winners, 1u);
+
+  // The survivor is reachable: the losers did not unlink its socket.
+  auto accepted = std::async(std::launch::async, [&] { return winner->accept(2000); });
+  const support::Socket probe = support::Socket::connect(endpoint);
+  EXPECT_TRUE(accepted.get().valid());
+  winner->close();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));
+}
+
+TEST(DaemonClient, CallBudgetCapsBackoffAndFailsFast) {
+  const std::string socket_path = unique_socket_path("budget");
+  Server server(unix_options(socket_path));
+  server.start();
+
+  // Every client write fails, so a retrying call can only burn attempts.
+  // Without the budget, backoff_base_seconds = 5 would sleep minutes
+  // before max_attempts ran out; the 250 ms budget must cap the first
+  // sleep and fail the next retry with DeadlineExceededError.
+  struct FailpointGuard {
+    ~FailpointGuard() { support::failpoint::disarm_all(); }
+  } guard;
+  support::failpoint::arm_from_spec("socket.write=error");
+
+  ClientOptions options;
+  options.max_attempts = 1000;
+  options.backoff_base_seconds = 5.0;
+  options.backoff_max_seconds = 5.0;
+  options.call_timeout_ms = 250;
+  Client client = Client::connect(server.endpoint(), options);
+  const support::Stopwatch watch;
+  EXPECT_THROW((void)client.call(api::VersionRequest{}), DeadlineExceededError);
+  const double elapsed = watch.seconds();
+  EXPECT_GE(elapsed, 0.2);  // the capped sleep still honoured the budget window
+  EXPECT_LT(elapsed, 2.0);  // nowhere near one uncapped 5 s backoff
+
+  // With the fault cleared the same client works again (the budget is
+  // per call, not a poisoned state).
+  support::failpoint::disarm_all();
+  EXPECT_EQ(std::get<api::VersionResponse>(client.call(api::VersionRequest{})).protocol,
+            api::kProtocolVersion);
+  server.shutdown();
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+// The persistent artifact store (DESIGN.md §13): record round-trips,
+// crash/corruption fallbacks (truncated, bit-flipped, version-mismatched
+// records are misses, never errors), concurrent writers vs readers, GC
+// under a capacity budget, and the engine-level contract — a warm run
+// over a shared store executes zero stages, reports identical
+// deterministic bytes, and accounts every slot as planned = executed +
+// hits + disk_hits.
+#include "runner/disk_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/batch_runner.hpp"
+#include "support/error.hpp"
+
+namespace icsdiv::runner {
+namespace {
+
+std::string unique_store_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("icsdiv_store_" + tag + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1))))
+      .string();
+}
+
+/// Removes the store directory at scope exit so /tmp stays clean even
+/// when an assertion fires mid-test.
+struct ScopedDir {
+  explicit ScopedDir(std::string path_in) : path(std::move(path_in)) {}
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  ScopedDir(const ScopedDir&) = delete;
+  ScopedDir& operator=(const ScopedDir&) = delete;
+  std::string path;
+};
+
+ArtifactKey key_of(std::uint64_t hi, std::uint64_t lo) { return ArtifactKey{hi, lo}; }
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(file), {});
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file << bytes;
+}
+
+TEST(DiskArtifactStore, RoundTripsSummaryAndPayload) {
+  const ScopedDir dir(unique_store_dir("roundtrip"));
+  const DiskArtifactStore store({.dir = dir.path});
+  ASSERT_TRUE(store.usable());
+
+  const ArtifactKey key = key_of(0x1234, 0xabcd);
+  const std::string summary = "summary-bytes";
+  const std::string payload(100'000, 'x');
+  ASSERT_TRUE(store.publish(3, key, summary, payload));
+
+  const auto record = store.load(3, key);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->summary, summary);
+  EXPECT_EQ(record->payload, payload);
+
+  // Same key, different stage — and a different key — both miss.
+  EXPECT_FALSE(store.load(4, key).has_value());
+  EXPECT_FALSE(store.load(3, key_of(0x1234, 0xabce)).has_value());
+
+  // A second store over the same directory sees the published record.
+  const DiskArtifactStore reopened({.dir = dir.path});
+  EXPECT_TRUE(reopened.load(3, key).has_value());
+}
+
+TEST(DiskArtifactStore, TruncatedAndCorruptRecordsAreMissesNotErrors) {
+  const ScopedDir dir(unique_store_dir("corrupt"));
+  const DiskArtifactStore store({.dir = dir.path});
+  const ArtifactKey key = key_of(7, 9);
+  ASSERT_TRUE(store.publish(1, key, "sum", "payload-payload-payload"));
+  const std::string path = store.object_path(1, key);
+  const std::string intact = file_bytes(path);
+  ASSERT_FALSE(intact.empty());
+
+  // Truncations at every interesting boundary: mid-magic, mid-header,
+  // mid-summary, one byte short of complete.
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{4}, std::size_t{40}, intact.size() - 5, intact.size() - 1}) {
+    write_bytes(path, intact.substr(0, size));
+    EXPECT_FALSE(store.load(1, key).has_value()) << "truncated to " << size;
+  }
+
+  // A flipped payload bit fails the checksum.
+  std::string flipped = intact;
+  flipped[flipped.size() - 3] = static_cast<char>(flipped[flipped.size() - 3] ^ 0x40);
+  write_bytes(path, flipped);
+  EXPECT_FALSE(store.load(1, key).has_value());
+
+  // A record written by a future format version is skipped unread.
+  std::string future = intact;
+  future[8] = 99;  // version field follows the 8-byte magic (little-endian)
+  write_bytes(path, future);
+  EXPECT_FALSE(store.load(1, key).has_value());
+
+  // Restoring the original bytes restores the hit.
+  write_bytes(path, intact);
+  EXPECT_TRUE(store.load(1, key).has_value());
+}
+
+TEST(DiskArtifactStore, VersionMismatchedManifestDisablesTheStore) {
+  const ScopedDir dir(unique_store_dir("manifest"));
+  {
+    const DiskArtifactStore store({.dir = dir.path});
+    ASSERT_TRUE(store.publish(2, key_of(1, 2), "s", ""));
+  }
+  write_bytes(dir.path + "/MANIFEST", "icsdiv-store 999\n");
+  const DiskArtifactStore store({.dir = dir.path});
+  EXPECT_FALSE(store.usable());
+  EXPECT_FALSE(store.load(2, key_of(1, 2)).has_value());
+  EXPECT_FALSE(store.publish(2, key_of(3, 4), "s", ""));
+  // The foreign-version manifest is left alone for its own format to read.
+  EXPECT_EQ(file_bytes(dir.path + "/MANIFEST"), "icsdiv-store 999\n");
+}
+
+TEST(DiskArtifactStore, ConcurrentWritersAndReadersNeverObserveTornRecords) {
+  const ScopedDir dir(unique_store_dir("race"));
+  const DiskArtifactStore store({.dir = dir.path});
+  constexpr std::size_t kKeys = 8;
+  constexpr std::size_t kRounds = 40;
+
+  const auto summary_for = [](std::size_t k) { return "summary-" + std::to_string(k); };
+  const auto payload_for = [](std::size_t k) {
+    return std::string(1000 + k, static_cast<char>('a' + k));
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> torn{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        for (std::size_t k = 0; k < kKeys; ++k) {
+          const auto record = store.load(5, key_of(k, k * 3 + 1));
+          if (!record.has_value()) continue;  // not yet published — fine
+          if (record->summary != summary_for(k) || record->payload != payload_for(k)) {
+            torn.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    writers.emplace_back([&] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t k = 0; k < kKeys; ++k) {
+          store.publish(5, key_of(k, k * 3 + 1), summary_for(k), payload_for(k));
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const auto record = store.load(5, key_of(k, k * 3 + 1));
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->summary, summary_for(k));
+  }
+}
+
+TEST(DiskArtifactStore, CapacityGcEvictsOldestUntilTheStoreFits) {
+  const ScopedDir dir(unique_store_dir("gc"));
+  DiskStoreOptions options;
+  options.dir = dir.path;
+  const DiskArtifactStore store(options);
+  const std::string payload(4000, 'p');
+  for (std::size_t k = 0; k < 8; ++k) {
+    ASSERT_TRUE(store.publish(6, key_of(k, k), "s", payload));
+    // Age the early records so mtime ordering is unambiguous even on
+    // coarse-grained filesystems.
+    const auto stamp = std::filesystem::last_write_time(store.object_path(6, key_of(k, k)));
+    std::filesystem::last_write_time(store.object_path(6, key_of(k, k)),
+                                     stamp - std::chrono::seconds(100 - k));
+  }
+
+  DiskStoreOptions bounded = options;
+  bounded.capacity_bytes = 3 * (4000 + 100);  // room for ~3 records
+  const DiskArtifactStore collected(bounded);  // GC runs at open
+  std::size_t survivors = 0;
+  for (std::size_t k = 0; k < 8; ++k) {
+    if (collected.load(6, key_of(k, k)).has_value()) ++survivors;
+  }
+  EXPECT_GT(survivors, 0u);
+  EXPECT_LE(survivors, 3u);
+  // Eviction is oldest-first: the newest record always survives.
+  EXPECT_TRUE(collected.load(6, key_of(7, 7)).has_value());
+  EXPECT_FALSE(collected.load(6, key_of(0, 0)).has_value());
+
+  // A full wipe: capacity zero… is "unlimited"; a 1-byte budget empties it.
+  DiskStoreOptions tiny = options;
+  tiny.capacity_bytes = 1;
+  const DiskArtifactStore emptied(tiny);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_FALSE(emptied.load(6, key_of(k, k)).has_value());
+  }
+  // An emptied store is still a working store.
+  ASSERT_TRUE(emptied.publish(6, key_of(50, 50), "s", "fresh"));
+  EXPECT_TRUE(emptied.load(6, key_of(50, 50)).has_value());
+}
+
+TEST(DiskArtifactStore, TtlGcCollectsExpiredRecords) {
+  const ScopedDir dir(unique_store_dir("ttl"));
+  const DiskArtifactStore store({.dir = dir.path});
+  ASSERT_TRUE(store.publish(2, key_of(1, 1), "old", ""));
+  ASSERT_TRUE(store.publish(2, key_of(2, 2), "new", ""));
+  const std::string old_path = store.object_path(2, key_of(1, 1));
+  std::filesystem::last_write_time(
+      old_path, std::filesystem::last_write_time(old_path) - std::chrono::hours(10));
+
+  DiskStoreOptions options;
+  options.dir = dir.path;
+  options.ttl_seconds = 3600.0;
+  const DiskArtifactStore collected(options);
+  EXPECT_FALSE(collected.load(2, key_of(1, 1)).has_value());
+  EXPECT_TRUE(collected.load(2, key_of(2, 2)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level integration: BatchOptions::store_dir as the second cache
+// tier.
+
+ScenarioGrid small_attack_grid() {
+  ScenarioGrid grid;
+  grid.name = "store-grid";
+  grid.hosts = {16};
+  grid.degrees = {4.0};
+  grid.services = {2};
+  grid.products_per_service = {3};
+  grid.solvers = {"trws", "icm"};
+  grid.constraints = {"none"};
+  grid.seeds = {7};
+  grid.solve.max_iterations = 20;
+  AttackGrid attack;
+  attack.entries = {0, 1};
+  attack.target = 15;
+  attack.strategies = {"sophisticated"};
+  attack.detections = {0.0};
+  attack.runs = 10;
+  attack.max_ticks = 300;
+  grid.attack = attack;
+  return grid;
+}
+
+std::string deterministic_csv(const BatchReport& report) {
+  std::ostringstream out;
+  report.write_csv(out, /*include_timings=*/false);
+  return out.str();
+}
+
+void expect_balanced(const StageCounters& counters, const char* stage) {
+  EXPECT_EQ(counters.planned, counters.executed + counters.hits + counters.disk_hits) << stage;
+}
+
+TEST(DiskArtifactStore, WarmEngineRunExecutesNothingAndMatchesColdBytes) {
+  const ScopedDir dir(unique_store_dir("engine"));
+  const ScenarioGrid grid = small_attack_grid();
+
+  BatchOptions bare;
+  bare.threads = 1;
+  const BatchReport reference = BatchRunner(bare).run(grid);
+  ASSERT_EQ(reference.failed_count(), 0u) << reference.results[0].error;
+
+  BatchOptions cold = bare;
+  cold.store_dir = dir.path;
+  const BatchReport first = BatchRunner(cold).run(grid);
+  EXPECT_EQ(deterministic_csv(first), deterministic_csv(reference));
+  EXPECT_GT(first.stage_stats.workload.disk_writes, 0u);
+  EXPECT_GT(first.stage_stats.solve.disk_writes, 0u);
+  EXPECT_EQ(first.stage_stats.solve.disk_hits, 0u);
+
+  const BatchReport warm = BatchRunner(cold).run(grid);
+  EXPECT_EQ(deterministic_csv(warm), deterministic_csv(reference));
+  // The warm-run contract: zero generate/problem/solve executions.
+  EXPECT_EQ(warm.stage_stats.workload.executed, 0u);
+  EXPECT_EQ(warm.stage_stats.problem.executed, 0u);
+  EXPECT_EQ(warm.stage_stats.solve.executed, 0u);
+  EXPECT_EQ(warm.stage_stats.channels.executed, 0u);
+  EXPECT_EQ(warm.stage_stats.attack.executed, 0u);
+  EXPECT_GT(warm.stage_stats.solve.disk_hits, 0u);
+  EXPECT_EQ(warm.stage_stats.solve.disk_writes, 0u);
+  expect_balanced(warm.stage_stats.workload, "workload");
+  expect_balanced(warm.stage_stats.problem, "problem");
+  expect_balanced(warm.stage_stats.solve, "solve");
+  expect_balanced(warm.stage_stats.channels, "channels");
+  expect_balanced(warm.stage_stats.attack, "attack");
+
+  // Corrupt every record: the engine falls back to recompute and still
+  // reports the same bytes.
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path + "/objects")) {
+    write_bytes(entry.path().string(), "garbage");
+  }
+  const BatchReport recovered = BatchRunner(cold).run(grid);
+  EXPECT_EQ(deterministic_csv(recovered), deterministic_csv(reference));
+  EXPECT_EQ(recovered.stage_stats.solve.disk_hits, 0u);
+  EXPECT_GT(recovered.stage_stats.solve.executed, 0u);
+}
+
+TEST(DiskArtifactStore, UnusableStoreDegradesToPlainComputation) {
+  const ScopedDir dir(unique_store_dir("degrade"));
+  std::filesystem::create_directories(dir.path);
+  write_bytes(dir.path + "/MANIFEST", "icsdiv-store 999\n");
+
+  ScenarioGrid grid = small_attack_grid();
+  grid.attack.reset();  // solve-only keeps this fast
+  BatchOptions options;
+  options.threads = 1;
+  options.store_dir = dir.path;
+  const BatchReport report = BatchRunner(options).run(grid);
+  EXPECT_EQ(report.failed_count(), 0u);
+  EXPECT_EQ(report.stage_stats.solve.disk_hits, 0u);
+  EXPECT_EQ(report.stage_stats.solve.disk_writes, 0u);
+  EXPECT_GT(report.stage_stats.solve.executed, 0u);
+}
+
+}  // namespace
+}  // namespace icsdiv::runner

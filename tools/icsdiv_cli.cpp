@@ -16,8 +16,16 @@
 //   icsdiv_cli report    --catalog c.json --network n.json --assignment a.json
 //   icsdiv_cli similarity --feed feed.json --cpe QUERY --cpe QUERY [...]
 //   icsdiv_cli batch     --grid grid.json [--csv FILE] [--json FILE]
-//                        [--threads N]
+//                        [--threads N] [--store DIR]
+//                        [--shard K/N] [--report deterministic]
+//   icsdiv_cli batch     --merge s0.json,s1.json [--csv FILE] [--json FILE]
 //   icsdiv_cli version
+//
+// `--store DIR` layers a persistent on-disk artifact store under the
+// batch (DESIGN.md §13); `--shard K/N` runs only this process's share of
+// the grid and emits a shard document; `--merge` stitches the fleet's
+// documents back into one deterministic report, byte-identical to a
+// single-process run.
 //
 // Every compute command accepts `--timeout-ms N`, a wall-clock deadline
 // enforced by the session (DESIGN.md §11): optimize returns the best
@@ -28,9 +36,12 @@
 // 0 ok, 2 invalid argument, 3 parse error, 4 not found, 5 infeasible,
 // 6 logic error, 8 partial batch failure, 9 internal, 10 deadline
 // exceeded, 11 cancelled.
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +49,8 @@
 #include "api/session.hpp"
 #include "api/status.hpp"
 #include "mrf/registry.hpp"
+#include "runner/scenario_engine.hpp"
+#include "runner/shard.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -167,6 +180,7 @@ api::Request build_request(const Arguments& args) {
       request.threads = parse_threads(it->second);
     }
     request.timeout_ms = parse_timeout_ms(args);
+    request.store_dir = option_or(args, "store");
     return request;
   }
   if (args.command == "version") return api::VersionRequest{};
@@ -372,7 +386,130 @@ int render_text(const Arguments& args, const api::Response& response) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Local batch paths (DESIGN.md §13).  `--shard K/N`, `--merge FILES` and
+// `--report deterministic` bypass the api session — a shard document or a
+// deterministic report is not a BatchResponse — and drive BatchRunner
+// directly, with the same fail-fast grid validation the session applies.
+
+std::string grid_fingerprint(const std::string& text) {
+  runner::KeyHasher hasher;
+  hasher.mix(text);
+  const runner::ArtifactKey key = hasher.key();
+  char buffer[33];
+  std::snprintf(buffer, sizeof(buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(key.hi), static_cast<unsigned long long>(key.lo));
+  return buffer;
+}
+
+void validate_grid(const runner::ScenarioGrid& grid) {
+  for (const std::string& solver : grid.solvers) {
+    if (!mrf::SolverRegistry::instance().contains(solver)) {
+      throw InvalidArgument("unknown solver in grid: " + solver + " (registered: " +
+                            mrf::SolverRegistry::instance().names_joined(", ") + ")");
+    }
+  }
+  const std::vector<std::string> recipes = runner::constraint_recipe_names();
+  for (const std::string& recipe : grid.constraints) {
+    if (std::find(recipes.begin(), recipes.end(), recipe) == recipes.end()) {
+      throw InvalidArgument("unknown constraint recipe in grid: " + recipe);
+    }
+  }
+}
+
+/// Deterministic outputs: timing-free CSV/JSON (byte-stable across runs,
+/// thread counts and store temperature).  CSV goes to stdout when no
+/// --csv/--json file is named.
+void write_deterministic_outputs(const Arguments& args, const runner::BatchReport& report) {
+  std::ostringstream csv;
+  report.write_csv(csv, /*include_timings=*/false);
+  bool wrote = false;
+  if (const auto it = args.options.find("csv"); it != args.options.end()) {
+    write_text_file(it->second, csv.str());
+    wrote = true;
+  }
+  if (const auto it = args.options.find("json"); it != args.options.end()) {
+    write_text_file(it->second, report.to_json(/*include_timings=*/false).dump_pretty() + "\n");
+    wrote = true;
+  }
+  if (!wrote) std::cout << csv.str();
+}
+
+int run_batch_merge(const Arguments& args) {
+  std::vector<support::Json> documents;
+  const std::string& list = args.options.at("merge");
+  for (std::size_t begin = 0; begin <= list.size();) {
+    const std::size_t comma = std::min(list.find(',', begin), list.size());
+    const std::string path = list.substr(begin, comma - begin);
+    if (!path.empty()) documents.push_back(support::Json::parse(read_file(path)));
+    begin = comma + 1;
+  }
+  if (documents.empty()) throw InvalidArgument("--merge needs a comma-separated file list");
+  const runner::BatchReport report = runner::merge_shards(documents);
+  write_deterministic_outputs(args, report);
+  return report.failed_count() == 0 ? 0 : api::exit_code(api::StatusCode::PartialFailure);
+}
+
+int run_batch_local(const Arguments& args) {
+  const auto grid_it = args.options.find("grid");
+  if (grid_it == args.options.end()) throw InvalidArgument("missing required --grid");
+  const std::string grid_text = read_file(grid_it->second);
+  const runner::ScenarioGrid grid =
+      runner::ScenarioGrid::from_json(support::Json::parse(grid_text));
+  validate_grid(grid);
+  const std::vector<runner::ScenarioSpec> specs = grid.expand();
+  require(!specs.empty(), "batch", "grid expands to zero scenarios");
+
+  runner::BatchOptions options;
+  if (const auto it = args.options.find("threads"); it != args.options.end()) {
+    options.threads = parse_threads(it->second);
+  }
+  options.store_dir = option_or(args, "store");
+
+  const auto shard_it = args.options.find("shard");
+  if (shard_it == args.options.end()) {
+    const runner::BatchReport report = runner::BatchRunner(std::move(options)).run(specs);
+    write_deterministic_outputs(args, report);
+    return report.failed_count() == 0 ? 0 : api::exit_code(api::StatusCode::PartialFailure);
+  }
+
+  const runner::ShardSpec shard = runner::parse_shard(shard_it->second);
+  std::vector<runner::ScenarioSpec> owned;
+  std::vector<std::size_t> original;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (runner::shard_owns(shard, runner::scenario_solve_key(specs[i]))) {
+      owned.push_back(specs[i]);
+      original.push_back(i);
+    }
+  }
+  runner::BatchReport report;
+  if (!owned.empty()) report = runner::BatchRunner(std::move(options)).run(owned);
+  // The engine numbered the owned cells 0..n-1; restore grid positions so
+  // --merge can reassemble the fleet's documents in grid order.
+  for (std::size_t i = 0; i < report.results.size(); ++i) report.results[i].index = original[i];
+  const support::Json document =
+      runner::shard_to_json(shard, grid_fingerprint(grid_text), specs.size(), report.results);
+  if (const auto it = args.options.find("json"); it != args.options.end()) {
+    write_text_file(it->second, document.dump_pretty() + "\n");
+  } else {
+    std::cout << document.dump_pretty() << "\n";
+  }
+  std::cerr << "shard " << shard.index << "/" << shard.count << ": " << owned.size() << "/"
+            << specs.size() << " cells, " << report.failed_count() << " failed\n";
+  return report.failed_count() == 0 ? 0 : api::exit_code(api::StatusCode::PartialFailure);
+}
+
 int dispatch(const Arguments& args, OutputFormat format) {
+  if (args.command == "batch") {
+    const std::string report_mode = option_or(args, "report");
+    if (!report_mode.empty() && report_mode != "deterministic") {
+      throw InvalidArgument("bad --report value (deterministic): " + report_mode);
+    }
+    if (args.options.find("merge") != args.options.end()) return run_batch_merge(args);
+    if (args.options.find("shard") != args.options.end() || !report_mode.empty()) {
+      return run_batch_local(args);
+    }
+  }
   const api::Request request = build_request(args);
 
   api::SessionOptions options;
@@ -404,9 +541,17 @@ void print_usage() {
   report      --catalog FILE --network FILE --assignment FILE
   similarity  --feed FILE --cpe QUERY --cpe QUERY [--cpe QUERY ...]
   batch       --grid FILE [--csv FILE] [--json FILE] [--threads N]
+              [--store DIR] [--shard K/N] [--report deterministic]
               (a grid may carry an "attack" block — MTTC axes — and a
                "metrics" block — d_bn entry/target sweeps; reports then
                add mttc_* and d_bn_*/p_with/p_without columns)
+              --store DIR keeps stage artifacts in an on-disk store shared
+              across runs and processes; --shard K/N computes one shard of
+              the grid and writes a shard document (to --json or stdout);
+              --report deterministic emits timing-free CSV/JSON
+  batch       --merge s0.json,s1.json [--csv FILE] [--json FILE]
+              (merges shard documents into one deterministic report,
+               byte-identical to an unsharded run of the same grid)
   version     (protocol handshake, registered solvers and recipes)
 
 Every compute command also accepts --timeout-ms N (wall-clock deadline;

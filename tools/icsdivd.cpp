@@ -10,7 +10,8 @@
 //   icsdivd --tcp 127.0.0.1:7433     [flags]
 //
 // Flags: --max-connections N, --idle-timeout SECONDS, --max-concurrent N,
-// --max-queue N, --retry-after SECONDS.
+// --max-queue N, --retry-after SECONDS, --store DIR (default on-disk
+// artifact store for batch requests, DESIGN.md §13).
 //
 // Fault injection: setting ICSDIV_FAILPOINTS (e.g.
 // "socket.write=error(0.05);stage.solve=delay(20,0.5)") arms the
@@ -82,6 +83,8 @@ daemon::ServerOptions build_options(const Arguments& args) {
       options.session.max_queued = parse_count(name, value);
     } else if (name == "retry-after") {
       options.session.retry_after_seconds = static_cast<double>(parse_count(name, value));
+    } else if (name == "store") {
+      options.session.store_dir = value;
     } else {
       throw InvalidArgument("unknown flag: --" + name);
     }
@@ -92,7 +95,8 @@ daemon::ServerOptions build_options(const Arguments& args) {
 void print_usage() {
   std::cerr << "usage: icsdivd (--socket PATH | --tcp HOST:PORT)\n"
             << "               [--max-connections N] [--idle-timeout SECONDS]\n"
-            << "               [--max-concurrent N] [--max-queue N] [--retry-after SECONDS]\n";
+            << "               [--max-concurrent N] [--max-queue N] [--retry-after SECONDS]\n"
+            << "               [--store DIR]\n";
 }
 
 }  // namespace

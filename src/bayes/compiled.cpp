@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "bayes/kernels.hpp"
+#include "support/simd.hpp"
 #include "support/thread_pool.hpp"
 
 namespace icsdiv::bayes {
@@ -27,13 +29,20 @@ struct McState {
   std::vector<std::uint32_t> fired;
   std::vector<std::uint32_t> burst_begin;  ///< per rank; valid for this
   std::vector<std::uint32_t> burst_end;    ///< sample's frontier vertices only
+  /// Batched-burst scratch (bayes/kernels.hpp): the serially-drawn
+  /// acceptance words and the packed fired-edge records of one vertex's
+  /// burst, both sized to the cone's widest out-fan.
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint32_t> records;
   std::uint32_t epoch = 0;
 
-  explicit McState(std::size_t ranks)
+  McState(std::size_t ranks, std::size_t max_burst)
       : mark_model(ranks, 0),
         mark_baseline(ranks, 0),
         burst_begin(ranks, 0),
-        burst_end(ranks, 0) {
+        burst_end(ranks, 0),
+        words(max_burst, 0),
+        records(max_burst, 0) {
     frontier.reserve(ranks);
     baseline_frontier.reserve(ranks);
     fired.reserve(ranks);
@@ -222,7 +231,12 @@ void CompiledReliability::monte_carlo_fill(std::span<const core::HostId> targets
     }
     cone_offsets[s + 1] = static_cast<std::uint32_t>(cone_to.size());
   }
+  std::size_t max_burst = 0;
+  for (std::size_t s = 0; s < ranks; ++s) {
+    max_burst = std::max<std::size_t>(max_burst, cone_offsets[s + 1] - cone_offsets[s]);
+  }
 
+  const support::simd::Kernels& k = support::simd::kernels();
   std::vector<std::uint64_t> hits_model(ranks, 0);
   std::vector<std::uint64_t> hits_baseline(ranks, 0);
   const std::size_t samples = options.mc_samples;
@@ -253,13 +267,18 @@ void CompiledReliability::monte_carlo_fill(std::span<const core::HostId> targets
         for (std::size_t head = 0; head < state.frontier.size(); ++head) {
           const std::uint32_t v = state.frontier[head];
           state.burst_begin[v] = static_cast<std::uint32_t>(state.fired.size());
-          const std::uint32_t end = cone_offsets[v + 1];
-          for (std::uint32_t e = cone_offsets[v]; e < end; ++e) {
-            const std::uint64_t word = rng() >> 11;
-            if (word >= cone_threshold[e]) continue;
-            const std::uint32_t to = cone_to[e];
-            state.fired.push_back((to << 1) |
-                                  static_cast<std::uint32_t>(word < baseline_threshold_));
+          // The whole burst fires in one batched kernel call: words drawn
+          // serially in cone-edge order (the seed-era sequence), the
+          // threshold compares and record packing wide.
+          const std::uint32_t burst_begin_edge = cone_offsets[v];
+          const std::size_t fired_count = kernels::fire_burst(
+              k, rng, cone_threshold.data() + burst_begin_edge,
+              cone_to.data() + burst_begin_edge, cone_offsets[v + 1] - burst_begin_edge,
+              baseline_threshold_, state.words.data(), state.records.data());
+          for (std::size_t f = 0; f < fired_count; ++f) {
+            const std::uint32_t record = state.records[f];
+            state.fired.push_back(record);
+            const std::uint32_t to = record >> 1;
             if (state.mark_model[to] != epoch) {
               state.mark_model[to] = epoch;
               state.frontier.push_back(to);
@@ -294,7 +313,7 @@ void CompiledReliability::monte_carlo_fill(std::span<const core::HostId> targets
     workers = std::clamp<std::size_t>(workers, 1, chunk_count);
   }
   if (workers <= 1) {
-    McState state(ranks);
+    McState state(ranks, max_burst);
     run_chunks(0, chunk_count, state, hits_model.data(), hits_baseline.data());
   } else {
     // Contiguous chunk ranges per worker; integer hit counters make the
@@ -308,7 +327,7 @@ void CompiledReliability::monte_carlo_fill(std::span<const core::HostId> targets
       if (lo >= hi) return;
       partial_model[w].assign(ranks, 0);
       partial_baseline[w].assign(ranks, 0);
-      McState state(ranks);
+      McState state(ranks, max_burst);
       run_chunks(lo, hi, state, partial_model[w].data(), partial_baseline[w].data());
     });
     for (std::size_t w = 0; w < workers; ++w) {

@@ -1,0 +1,43 @@
+// Reliability Monte-Carlo kernels on top of the portable SIMD layer
+// (DESIGN.md §14).  The coupled-sampling hot loop fires every out-edge
+// of a frontier vertex in one burst; fire_burst() buffers the burst's
+// acceptance words serially — one rng() step per edge in cone-CSR order,
+// exactly the seed-era sequence — and runs the drawless threshold
+// compare plus record packing wide.  No raw intrinsics (lint rule
+// `raw-intrinsics`).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+
+namespace icsdiv::bayes::kernels {
+
+/// Fires one vertex's burst of `count` out-edges: draws the acceptance
+/// words into `words` (serial, historical order), then writes
+/// (to << 1) | fired_baseline for every model-fired edge into `records`,
+/// in edge order.  Returns the number of fired edges.  `words` and
+/// `records` both need `count` slots.
+inline std::size_t fire_burst(const support::simd::Kernels& k, support::Rng& rng,
+                              const std::uint64_t* thresholds, const std::uint32_t* to,
+                              std::size_t count, std::uint64_t baseline_threshold,
+                              std::uint64_t* words, std::uint32_t* records) {
+  // Small bursts (the typical degree-16 cone) take the fused serial loop:
+  // the wide path's call + scratch round-trip costs more than it saves
+  // below ~32 edges.  Both paths draw the same words in the same order
+  // and emit identical records, so the cutoff never changes results.
+  if (count < 32) {
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t word = rng() >> 11;
+      if (word >= thresholds[i]) continue;
+      records[fired++] = (to[i] << 1) | (word < baseline_threshold ? 1u : 0u);
+    }
+    return fired;
+  }
+  for (std::size_t i = 0; i < count; ++i) words[i] = rng() >> 11;
+  return k.fire_record(words, thresholds, to, count, baseline_threshold, records);
+}
+
+}  // namespace icsdiv::bayes::kernels

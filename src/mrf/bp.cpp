@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mrf/kernels.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
@@ -11,11 +13,11 @@ namespace icsdiv::mrf {
 
 namespace {
 
-/// Per-shard scratch: one aggregate and one reduced-aggregate buffer, both
-/// sized max_label_count, so no allocation happens inside the solve loop.
+/// Per-shard scratch: one aggregate buffer sized max_label_count plus the
+/// sum_rows pointer list, so no allocation happens inside the solve loop.
 struct Scratch {
   std::vector<Cost> total;
-  std::vector<Cost> t;
+  std::vector<const Cost*> rows;  ///< sum_rows pointer scratch
 };
 
 }  // namespace
@@ -82,9 +84,13 @@ SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& opt
   }
   const std::size_t shard_count = std::max<std::size_t>(1, std::min(n, thread_count));
   std::vector<Scratch> scratch(shard_count);
+  std::size_t max_incident = 0;
+  for (VariableId i = 0; i < n; ++i) {
+    max_incident = std::max(max_incident, compiled.incident(i).size());
+  }
   for (Scratch& s : scratch) {
     s.total.resize(compiled.max_label_count());
-    s.t.resize(compiled.max_label_count());
+    s.rows.resize(max_incident + 1);
   }
   const auto shard_begin = [&](std::size_t s) { return s * n / shard_count; };
 
@@ -92,37 +98,24 @@ SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& opt
   // (unary + all incoming messages) is computed once per variable, and each
   // outgoing edge subtracts its own reverse message — O(deg·L) instead of
   // the historical O(deg²·L) per-edge re-aggregation.
+  const support::simd::Kernels& k = support::simd::kernels();
+  const double keep = 1.0 - options.damping;
   const auto update_variable = [&](VariableId i, Scratch& s, double& local_max) {
     const std::size_t count = compiled.label_count(i);
     const Cost* unary = unaries.data() + compiled.unary_offset(i);
     Cost* total = s.total.data();
-    Cost* t = s.t.data();
-    std::copy(unary, unary + count, total);
-    const auto incidents = compiled.incident(i);
-    for (const CompiledIncident& in_edge : incidents) {
-      const Cost* msg = messages.data() + in_edge.msg_in;
-      for (std::size_t x = 0; x < count; ++x) total[x] += msg[x];
-    }
-    for (const CompiledIncident& out_edge : incidents) {
+    kernels::aggregate(k, compiled, i, unary, messages.data(), total, s.rows.data());
+    for (const CompiledIncident& out_edge : compiled.incident(i)) {
       const Cost* reverse = messages.data() + out_edge.msg_in;
-      for (std::size_t x = 0; x < count; ++x) t[x] = total[x] - reverse[x];
       const std::size_t out_count = compiled.label_count(out_edge.other);
       Cost* out = next_messages.data() + out_edge.msg_out;
-      std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
-      for (std::size_t xi = 0; xi < count; ++xi) {
-        const Cost* row = out_edge.send + xi * out_count;
-        const Cost base = t[xi];
-        for (std::size_t xj = 0; xj < out_count; ++xj) {
-          out[xj] = std::min(out[xj], base + row[xj]);
-        }
-      }
-      const Cost delta = *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
+      // Fused aggregate-subtract + min-convolution; the 1.0 scale is an
+      // exact multiply, so this matches the historical sub-then-convolve
+      // sequence bit for bit.
+      const Cost delta = k.min_convolve2(out, out_edge.send, 1.0, total, reverse, count, out_count);
       const Cost* old = messages.data() + out_edge.msg_out;
-      for (std::size_t xj = 0; xj < out_count; ++xj) {
-        out[xj] -= delta;
-        out[xj] = options.damping * old[xj] + (1.0 - options.damping) * out[xj];
-        local_max = std::max(local_max, std::abs(out[xj] - old[xj]));
-      }
+      const double block_max = k.damp_update(out, old, delta, options.damping, keep, out_count);
+      local_max = std::max(local_max, block_max);
     }
   };
 
@@ -130,11 +123,7 @@ SolveResult BpSolver::solve_bp(const CompiledMrf& compiled, const BpOptions& opt
     const std::size_t count = compiled.label_count(i);
     const Cost* unary = unaries.data() + compiled.unary_offset(i);
     Cost* belief = s.total.data();
-    std::copy(unary, unary + count, belief);
-    for (const CompiledIncident& in_edge : compiled.incident(i)) {
-      const Cost* msg = messages.data() + in_edge.msg_in;
-      for (std::size_t x = 0; x < count; ++x) belief[x] += msg[x];
-    }
+    kernels::aggregate(k, compiled, i, unary, messages.data(), belief, s.rows.data());
     labels[i] = static_cast<Label>(std::min_element(belief, belief + count) - belief);
   };
 

@@ -1,0 +1,30 @@
+// Shared MRF message-passing kernels on top of the portable SIMD layer
+// (DESIGN.md §14).  TRW-S and BP run the same aggregation pass per
+// variable — unary plus every incoming message — so it is named once
+// here, expressed purely through the support::simd::Kernels table (the
+// per-edge message body is the fused min_convolve2 kernel, called
+// directly by each solver with its own scale).  No raw intrinsics appear
+// in this header (lint rule `raw-intrinsics`); picking a dispatch target
+// is the caller's job via support::simd::kernels().
+#pragma once
+
+#include "mrf/compiled.hpp"
+#include "support/simd.hpp"
+
+namespace icsdiv::mrf::kernels {
+
+/// θ̂ aggregation: d = unary + Σ incoming messages of variable i, fused
+/// into one sum_rows call (the accumulator stays in registers across the
+/// incident list).  `unary` is caller-supplied (BP aggregates over its
+/// perturbed copy); `rows` is caller scratch with room for the variable's
+/// incident count + 1 pointers.
+inline void aggregate(const support::simd::Kernels& k, const CompiledMrf& compiled, VariableId i,
+                      const Cost* unary, const Cost* messages, Cost* d, const Cost** rows) {
+  const std::size_t count = compiled.label_count(i);
+  std::size_t r = 0;
+  rows[r++] = unary;
+  for (const CompiledIncident& in : compiled.incident(i)) rows[r++] = messages + in.msg_in;
+  k.sum_rows(d, rows, r, count);
+}
+
+}  // namespace icsdiv::mrf::kernels

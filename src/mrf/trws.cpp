@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "mrf/kernels.hpp"
 #include "support/logging.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 
 namespace icsdiv::mrf {
@@ -18,18 +21,44 @@ namespace {
 class Machine {
  public:
   explicit Machine(const CompiledMrf& compiled)
-      : compiled_(compiled), n_(compiled.variable_count()) {
+      : compiled_(compiled), n_(compiled.variable_count()), k_(support::simd::kernels()) {
     build_gamma();
     build_forest();
     messages_.assign(compiled_.message_size(), Cost{0});
     const std::size_t max_labels = compiled_.max_label_count();
     scratch_d_.resize(max_labels);
-    scratch_t_.resize(max_labels);
     score_.resize(max_labels);
     fold_.resize(max_labels);
     cost_u_.resize(max_labels);
-    cost_v_.resize(max_labels);
+    joint_.resize(max_labels * max_labels);
     node_cost_.resize(n_ * max_labels);
+    std::size_t max_incident = 0;
+    incident_offset_.resize(n_ + 1);
+    std::size_t total_incident = 0;
+    for (VariableId i = 0; i < n_; ++i) {
+      incident_offset_[i] = total_incident;
+      total_incident += compiled_.incident(i).size();
+      max_incident = std::max(max_incident, compiled_.incident(i).size());
+    }
+    incident_offset_[n_] = total_incident;
+    rows_.resize(max_incident + 1);
+    // Slot of each edge inside its endpoints' incident lists (self-edges
+    // are rejected by Mrf::add_edge, so u's and v's entries are distinct).
+    const auto edges = compiled_.edges();
+    edge_slot_u_.assign(compiled_.edge_count(), 0);
+    edge_slot_v_.assign(compiled_.edge_count(), 0);
+    for (VariableId i = 0; i < n_; ++i) {
+      const auto inc = compiled_.incident(i);
+      for (std::size_t k = 0; k < inc.size(); ++k) {
+        (edges[inc[k].edge].u == i ? edge_slot_u_ : edge_slot_v_)[inc[k].edge] = k;
+      }
+    }
+    // Polish-scan stamps: everything starts "touched" (stamp 1 > scan
+    // stamp 0), so the first icm/pair sweeps scan and build everything.
+    touched_stamp_.assign(n_, 1);
+    var_scan_stamp_.assign(n_, 0);
+    edge_scan_stamp_.assign(compiled_.edge_count(), 0);
+    loo_stamp_.assign(n_, 0);
   }
 
   /// One forward (`ascending=true`) or backward sweep.
@@ -59,13 +88,8 @@ class Machine {
     std::fill(node_cost_.begin(), node_cost_.end(), Cost{0});
     for (VariableId i = 0; i < n_; ++i) {
       Cost* d = node_cost_.data() + static_cast<std::size_t>(i) * max_labels;
-      const std::size_t labels = compiled_.label_count(i);
-      const Cost* unary = compiled_.unary(i);
-      std::copy(unary, unary + labels, d);
-      for (const CompiledIncident& in : compiled_.incident(i)) {
-        const Cost* msg = messages_.data() + in.msg_in;
-        for (std::size_t x = 0; x < labels; ++x) d[x] += msg[x];
-      }
+      kernels::aggregate(k_, compiled_, i, compiled_.unary(i), messages_.data(), d,
+                         rows_.data());
     }
 
     const auto edges = compiled_.edges();
@@ -80,11 +104,8 @@ class Machine {
       const Cost* to_u = messages_.data() + compiled_.message_offset(e, /*dir_u_to_v=*/false);
       Cost best = std::numeric_limits<Cost>::infinity();
       for (std::size_t a = 0; a < rows; ++a) {
-        const Cost* row = fwd + a * cols;
-        const Cost tu = to_u[a];
-        for (std::size_t b = 0; b < cols; ++b) {
-          best = std::min(best, row[b] - to_v[b] - tu);
-        }
+        const Cost row_best = k_.fold_chord(fwd + a * cols, to_v, to_u[a], cols);
+        best = std::min(best, row_best);
       }
       bound += best;
     }
@@ -97,7 +118,7 @@ class Machine {
       const std::size_t labels = compiled_.label_count(i);
       Cost* d = node_cost_.data() + static_cast<std::size_t>(i) * max_labels;
       if (forest_parent_[i] == kNoParent) {
-        bound += *std::min_element(d, d + static_cast<std::ptrdiff_t>(labels));
+        bound += k_.min_value(d, labels);
         continue;
       }
       const VariableId parent = forest_parent_[i];
@@ -111,26 +132,14 @@ class Machine {
       const Cost* mat = i_is_u ? compiled_.transposed(e) : compiled_.forward(e);
       for (std::size_t xp = 0; xp < parent_labels; ++xp) {
         const Cost* row = mat + xp * labels;
-        Cost best = std::numeric_limits<Cost>::infinity();
-        if (i_is_u) {
-          // θ'(x_i, x_p) = θ(x_i, x_p) − M_{u→v}[x_p] − M_{v→u}[x_i]
-          const Cost tv = to_v[xp];
-          for (std::size_t xi = 0; xi < labels; ++xi) {
-            const Cost pairwise = row[xi] - tv - to_u[xi];
-            best = std::min(best, d[xi] + pairwise);
-          }
-        } else {
-          // θ'(x_p, x_i) = θ(x_p, x_i) − M_{u→v}[x_i] − M_{v→u}[x_p]
-          const Cost tu = to_u[xp];
-          for (std::size_t xi = 0; xi < labels; ++xi) {
-            const Cost pairwise = row[xi] - to_v[xi] - tu;
-            best = std::min(best, d[xi] + pairwise);
-          }
-        }
-        fold_[xp] = best;
+        // θ'(x_i, x_p) = θ(x_i, x_p) − M_{u→v}[x_p] − M_{v→u}[x_i] when
+        // i_is_u, θ'(x_p, x_i) = θ(x_p, x_i) − M_{u→v}[x_i] − M_{v→u}[x_p]
+        // otherwise — the two fold kernels pin the operand orders.
+        fold_[xp] = i_is_u ? k_.fold_tree_cm(d, row, to_v[xp], to_u, labels)
+                           : k_.fold_tree_mc(d, row, to_v, to_u[xp], labels);
       }
       Cost* parent_cost = node_cost_.data() + static_cast<std::size_t>(parent) * max_labels;
-      for (std::size_t xp = 0; xp < parent_labels; ++xp) parent_cost[xp] += fold_[xp];
+      k_.add(parent_cost, fold_.data(), parent_labels);
     }
     return bound;
   }
@@ -142,18 +151,17 @@ class Machine {
     Cost* score = score_.data();
     for (VariableId i = 0; i < n_; ++i) {
       const std::size_t count = compiled_.label_count(i);
-      const Cost* unary = compiled_.unary(i);
-      std::copy(unary, unary + count, score);
+      const Cost** rows = rows_.data();
+      std::size_t r = 0;
+      rows[r++] = compiled_.unary(i);
       for (const CompiledIncident& in : compiled_.incident(i)) {
-        if (in.other < i) {
-          // recv row for the neighbour's fixed label is contiguous over x.
-          const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
-          for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
-        } else {
-          const Cost* msg = messages_.data() + in.msg_in;
-          for (std::size_t x = 0; x < count; ++x) score[x] += msg[x];
-        }
+        // recv row for an earlier neighbour's fixed label is contiguous
+        // over x; later neighbours contribute their incoming message.
+        rows[r++] = in.other < i
+                        ? in.recv + static_cast<std::size_t>(labels[in.other]) * count
+                        : messages_.data() + in.msg_in;
       }
+      k_.sum_rows(score, rows, r, count);
       labels[i] = static_cast<Label>(std::min_element(score, score + count) - score);
     }
     return labels;
@@ -165,41 +173,54 @@ class Machine {
   /// (anti-Potts) cycles — exactly the structure diversity energies have,
   /// where a "defect" (a similar adjacent pair) must slide around a cycle
   /// to its cheapest edge.  Returns whether any labels changed.
+  /// The icm/pair sweeps prune provably-identical rescans with version
+  /// stamps: a scan of variable i (resp. edge e) is a pure function of the
+  /// labels in the closed neighbourhood of i (resp. of both endpoints), so
+  /// if none of those labels changed since its last scan, re-running it
+  /// would reproduce the last outcome — "no change" — and can be skipped.
+  /// Every accepted move bumps `clock_` and stamps the changed variable
+  /// plus all its neighbours as touched, which re-arms exactly the scans
+  /// whose inputs it altered (scan stamps are recorded *before* the move's
+  /// bump, so a mover always rescans itself once — conservative, and
+  /// immune to self-influence via parallel edges).  The stamps assume
+  /// every sweep on this Machine polishes the same evolving labels vector,
+  /// which solve_trws guarantees (one polish block, fresh Machine per
+  /// solve).
   bool pair_sweep(std::vector<Label>& labels) const {
     bool changed = false;
     const auto edges = compiled_.edges();
-    // Conditional cost profile of variable i over all its labels, excluding
-    // edge `skip`: unary plus one contiguous recv row per other incident
-    // edge — O(deg·L) for the whole profile instead of per-label scans.
-    const auto conditional_profile = [&](VariableId i, std::size_t skip, Cost* profile) {
-      const std::size_t count = compiled_.label_count(i);
-      const Cost* unary = compiled_.unary(i);
-      std::copy(unary, unary + count, profile);
-      for (const CompiledIncident& in : compiled_.incident(i)) {
-        if (in.edge == skip) continue;
-        const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
-        for (std::size_t x = 0; x < count; ++x) profile[x] += row[x];
-      }
-    };
+    // Leave-one-out conditional profiles are cached per (variable,
+    // incident slot) — see refresh_loo().  The cache is sized only when a
+    // pair sweep actually runs (solves that truncate before the polish
+    // never pay for it).
+    if (loo_.empty() && incident_offset_.back() > 0) {
+      loo_.resize(incident_offset_.back() * compiled_.max_label_count());
+    }
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const VariableId u = edges[e].u;
       const VariableId v = edges[e].v;
+      if (std::max(touched_stamp_[u], touched_stamp_[v]) <= edge_scan_stamp_[e]) continue;
+      edge_scan_stamp_[e] = clock_;
       const std::size_t rows = compiled_.label_count(u);
       const std::size_t cols = compiled_.label_count(v);
       const Cost* fwd = compiled_.forward(e);
-      conditional_profile(u, e, cost_u_.data());
-      conditional_profile(v, e, cost_v_.data());
-      Cost best = cost_u_[labels[u]] + cost_v_[labels[v]] +
+      const Cost* cost_u = loo_profile(u, edge_slot_u_[e], labels);
+      const Cost* cost_v = loo_profile(v, edge_slot_v_[e], labels);
+      Cost best = cost_u[labels[u]] + cost_v[labels[v]] +
                   fwd[static_cast<std::size_t>(labels[u]) * cols + labels[v]];
       Label best_u = labels[u];
       Label best_v = labels[v];
+      // Joint block built wide in one fused call; the first-wins argmin
+      // scan stays scalar — its tie rule (strictly-better-by-1e-12,
+      // earliest pair) is positional and must match the historical
+      // row-major traversal exactly.
+      Cost* joint = joint_.data();
+      k_.joint_block(joint, cost_v, cost_u, fwd, rows, cols);
       for (std::size_t a = 0; a < rows; ++a) {
-        const Cost* row = fwd + a * cols;
-        const Cost base = cost_u_[a];
+        const Cost* joint_row = joint + a * cols;
         for (std::size_t b = 0; b < cols; ++b) {
-          const Cost joint = base + cost_v_[b] + row[b];
-          if (joint + 1e-12 < best) {
-            best = joint;
+          if (joint_row[b] + 1e-12 < best) {
+            best = joint_row[b];
             best_u = static_cast<Label>(a);
             best_v = static_cast<Label>(b);
           }
@@ -209,6 +230,8 @@ class Machine {
         labels[u] = best_u;
         labels[v] = best_v;
         changed = true;
+        record_change(u);
+        record_change(v);
       }
     }
     return changed;
@@ -221,23 +244,75 @@ class Machine {
     bool changed = false;
     Cost* score = score_.data();
     for (VariableId i = 0; i < n_; ++i) {
+      if (touched_stamp_[i] <= var_scan_stamp_[i]) continue;
+      var_scan_stamp_[i] = clock_;
       const std::size_t count = compiled_.label_count(i);
-      const Cost* unary = compiled_.unary(i);
-      std::copy(unary, unary + count, score);
+      const Cost** rows = rows_.data();
+      std::size_t r = 0;
+      rows[r++] = compiled_.unary(i);
       for (const CompiledIncident& in : compiled_.incident(i)) {
-        const Cost* row = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
-        for (std::size_t x = 0; x < count; ++x) score[x] += row[x];
+        rows[r++] = in.recv + static_cast<std::size_t>(labels[in.other]) * count;
       }
+      k_.sum_rows(score, rows, r, count);
       const auto best = static_cast<Label>(std::min_element(score, score + count) - score);
       if (best != labels[i] && score[best] < score[labels[i]]) {
         labels[i] = best;
         changed = true;
+        record_change(i);
       }
     }
     return changed;
   }
 
  private:
+  /// Marks a polish label change of variable i: bumps the global change
+  /// clock and stamps i plus every neighbour as touched — exactly the
+  /// variables whose icm/pair scans read labels[i].
+  void record_change(VariableId i) const {
+    ++clock_;
+    touched_stamp_[i] = clock_;
+    for (const CompiledIncident& in : compiled_.incident(i)) touched_stamp_[in.other] = clock_;
+  }
+
+  /// Leave-one-out conditional profile of variable i excluding its
+  /// incident edge at `slot`: unary + Σ recv rows of the other incident
+  /// edges at the current neighbour labels.  All deg profiles of a
+  /// variable are built together in O(deg·L) with a prefix/suffix fold —
+  /// O(deg²·L) per-edge recomputation was the polish bottleneck — and
+  /// cached until a neighbour's label changes (the profile never depends
+  /// on labels[i] itself, so the touched stamp is a conservative guard).
+  /// The fold order is fixed and every op goes through the kernel table,
+  /// so results stay deterministic and dispatch-bit-identical.
+  const Cost* loo_profile(VariableId i, std::size_t slot, const std::vector<Label>& labels) const {
+    const std::size_t stride = compiled_.max_label_count();
+    Cost* base = loo_.data() + incident_offset_[i] * stride;
+    if (touched_stamp_[i] > loo_stamp_[i]) {
+      loo_stamp_[i] = clock_;
+      const auto inc = compiled_.incident(i);
+      const std::size_t count = compiled_.label_count(i);
+      const std::size_t deg = inc.size();
+      const auto row_of = [&](std::size_t k) {
+        return inc[k].recv + static_cast<std::size_t>(labels[inc[k].other]) * count;
+      };
+      // Prefix pass: loo[k] = unary + rows[0..k).
+      Cost* run = cost_u_.data();
+      std::copy_n(compiled_.unary(i), count, run);
+      for (std::size_t k = 0; k < deg; ++k) {
+        std::copy_n(run, count, base + k * stride);
+        if (k + 1 < deg) k_.add(run, row_of(k), count);
+      }
+      // Suffix pass: loo[k] += rows(k..deg), folded right to left.
+      if (deg >= 2) {
+        std::copy_n(row_of(deg - 1), count, run);
+        for (std::size_t k = deg - 1; k-- > 0;) {
+          k_.add(base + k * stride, run, count);
+          if (k > 0) k_.add(run, row_of(k), count);
+        }
+      }
+    }
+    return base + slot * stride;
+  }
+
   void build_gamma() {
     gamma_.assign(n_, 1.0);
     for (VariableId i = 0; i < n_; ++i) {
@@ -288,39 +363,22 @@ class Machine {
   void process(VariableId i, bool send_to_later) {
     const std::size_t count = compiled_.label_count(i);
     Cost* d = scratch_d_.data();
-    const Cost* unary = compiled_.unary(i);
-    std::copy(unary, unary + count, d);
-    const auto incidents = compiled_.incident(i);
-    for (const CompiledIncident& in : incidents) {
-      const Cost* msg = messages_.data() + in.msg_in;
-      for (std::size_t x = 0; x < count; ++x) d[x] += msg[x];
-    }
+    kernels::aggregate(k_, compiled_, i, compiled_.unary(i), messages_.data(), d, rows_.data());
     const double gamma = gamma_[i];
 
-    for (const CompiledIncident& in : incidents) {
+    for (const CompiledIncident& in : compiled_.incident(i)) {
       const bool is_later = in.other > i;
       if (is_later != send_to_later) continue;
 
       const Cost* reverse = messages_.data() + in.msg_in;  // M_{j→i}
-      Cost* t = scratch_t_.data();
-      for (std::size_t x = 0; x < count; ++x) t[x] = gamma * d[x] - reverse[x];
-
       Cost* out = messages_.data() + in.msg_out;
       const std::size_t out_count = compiled_.label_count(in.other);
-      std::fill(out, out + out_count, std::numeric_limits<Cost>::infinity());
-      // `send` rows are contiguous over the neighbour's labels in both
-      // orientations (transposed cache), so one kernel covers both.
-      for (std::size_t xi = 0; xi < count; ++xi) {
-        const Cost* row = in.send + xi * out_count;
-        const Cost base = t[xi];
-        for (std::size_t xj = 0; xj < out_count; ++xj) {
-          out[xj] = std::min(out[xj], base + row[xj]);
-        }
-      }
+      // Fused γ·θ̂ − M reparameterisation + min-convolution; `send` rows
+      // are contiguous over the neighbour's labels in both orientations
+      // (transposed cache), so one kernel covers both.
+      const Cost delta = k_.min_convolve2(out, in.send, gamma, d, reverse, count, out_count);
       // Normalise to min 0 to keep message magnitudes bounded.
-      const Cost delta =
-          *std::min_element(out, out + static_cast<std::ptrdiff_t>(out_count));
-      for (std::size_t xj = 0; xj < out_count; ++xj) out[xj] -= delta;
+      k_.sub_scalar(out, delta, out_count);
     }
   }
 
@@ -328,17 +386,30 @@ class Machine {
 
   const CompiledMrf& compiled_;
   const std::size_t n_;
+  /// Active SIMD kernel table, resolved once per solve (DESIGN.md §14).
+  const support::simd::Kernels& k_;
   std::vector<double> gamma_;
   std::vector<Cost> messages_;
   std::vector<Cost> scratch_d_;
-  std::vector<Cost> scratch_t_;
   // Per-call scratch hoisted out of the iteration loops (mutable: the
   // queries are logically const).
   mutable std::vector<Cost> score_;
   mutable std::vector<Cost> fold_;
-  mutable std::vector<Cost> cost_u_;
-  mutable std::vector<Cost> cost_v_;
+  mutable std::vector<Cost> cost_u_;  ///< loo_profile prefix/suffix scratch
+  mutable std::vector<Cost> joint_;
   mutable std::vector<Cost> node_cost_;
+  mutable std::vector<const Cost*> rows_;  ///< sum_rows pointer scratch
+  // Version stamps pruning redundant polish rescans (see pair_sweep) and
+  // the leave-one-out profile cache (see loo_profile).
+  mutable std::uint64_t clock_ = 1;
+  mutable std::vector<std::uint64_t> touched_stamp_;    ///< per variable
+  mutable std::vector<std::uint64_t> var_scan_stamp_;   ///< icm, per variable
+  mutable std::vector<std::uint64_t> edge_scan_stamp_;  ///< pair, per edge
+  mutable std::vector<std::uint64_t> loo_stamp_;        ///< per variable
+  mutable std::vector<Cost> loo_;  ///< (incident slot) × max_labels profiles
+  std::vector<std::size_t> incident_offset_;  ///< CSR offsets into loo_
+  std::vector<std::size_t> edge_slot_u_;      ///< edge → slot in u's incident list
+  std::vector<std::size_t> edge_slot_v_;      ///< edge → slot in v's incident list
   // Spanning forest for the lower bound (see lower_bound()).
   std::vector<VariableId> forest_parent_;
   std::vector<std::size_t> forest_edge_;   ///< edge to parent, per non-root

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/kernels.hpp"
 #include "support/bytes.hpp"
+#include "support/simd.hpp"
 #include "support/thread_pool.hpp"
 
 namespace icsdiv::sim {
@@ -12,13 +14,11 @@ namespace icsdiv::sim {
 using support::acceptance_threshold;
 
 void SimState::begin_run(std::size_t host_count, core::HostId entry_host) {
-  if (marked.size() != host_count) {
-    marked.assign(host_count, 0);
-    epoch = 0;
-  }
-  if (++epoch == 0) {  // u32 wrap: stale marks from ~4G runs ago would alias
+  const std::size_t word_count = support::simd::bitset_words(host_count);
+  if (marked.size() != word_count) {
+    marked.assign(word_count, 0);
+  } else {
     std::fill(marked.begin(), marked.end(), 0);
-    epoch = 1;
   }
   active.clear();
   ever_infected = 0;
@@ -163,7 +163,7 @@ CompiledPropagation::CompiledPropagation(std::shared_ptr<const PropagationChanne
 bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rng& rng,
                                bool& dead) const {
   const PropagationChannels& ch = *channels_;
-  const std::uint32_t epoch = state.epoch;
+  const support::simd::Kernels& k = support::simd::kernels();
   const bool sophisticated = params_.strategy == AttackerStrategy::Sophisticated;
   // With the defender off, a host whose neighbours are all marked can
   // never draw from the RNG again (susceptibility only shrinks), so the
@@ -171,8 +171,11 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
   // `active` is also the detection-roll list and must stay complete.
   const bool prune = params_.detection_probability == 0.0;
   if (state.gather.size() < ch.max_degree_) state.gather.resize(ch.max_degree_);
+  if (state.words.size() < ch.max_degree_) state.words.resize(ch.max_degree_);
   if (state.fresh.size() < ch.link_to_.size()) state.fresh.resize(ch.link_to_.size());
+  std::uint32_t* const marks = state.marked.data();
   std::uint32_t* const gather = state.gather.data();
+  std::uint64_t* const words = state.words.data();
   core::HostId* const fresh = state.fresh.data();
   std::size_t fresh_count = 0;
   bool any_susceptible = false;
@@ -184,42 +187,47 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
     const core::HostId attacker = state.active[a];
     const std::uint32_t begin = ch.offsets_[attacker];
     const std::uint32_t end = ch.offsets_[attacker + 1];
-    // Phase 1: branchless compaction of this attacker's susceptible links
-    // (the test is data-random; a branch here mispredicts constantly).
-    std::uint32_t frontier = 0;
-    for (std::uint32_t l = begin; l < end; ++l) {
-      gather[frontier] = l;
-      frontier += state.marked[ch.link_to_[l]] != epoch ? 1 : 0;
-    }
+    // Phase 1: compaction of this attacker's susceptible links over the
+    // mark bitset (the test is data-random; a branch here mispredicts
+    // constantly — the kernel tests and packs whole lane-groups at once).
+    const std::size_t frontier =
+        kernels::gather_frontier(k, ch.link_to_.data(), begin, end, marks, gather);
     if (frontier == 0) continue;  // saturated (this tick): no draws either way
     any_susceptible = true;
     if (prune) state.active[kept++] = attacker;
-    // Phase 2: the serial RNG draws, in CSR link order — exactly the
-    // attempts the seed-era fused loop made, in its order.  Successes
-    // compact branchlessly into `fresh` (a success is too rare to
-    // predict, too common to eat the mispredict).
-    for (std::uint32_t i = 0; i < frontier; ++i) {
-      const std::uint32_t l = gather[i];
-      std::uint64_t threshold;
-      if (sophisticated) {
-        threshold = ch.link_best_threshold_[l];
-      } else {
+    if (sophisticated) {
+      // Phase 2: one acceptance draw per gathered link, buffered in CSR
+      // link order — exactly the attempts the seed-era fused loop made,
+      // in its order — then a wide threshold compare; successes compact
+      // into `fresh` (a success is too rare to predict, too common to
+      // eat the mispredict).
+      fresh_count +=
+          kernels::accept_frontier(k, rng, gather, frontier, ch.link_to_.data(),
+                                   ch.link_best_threshold_.data(), words, fresh + fresh_count);
+    } else {
+      // Uniform attacker: the silent roll and the exploit pick are
+      // *conditional* draws — whether a word is consumed depends on the
+      // previous word — so this path cannot batch without changing the
+      // stream.  It stays serial, branchless on the success compaction.
+      for (std::size_t i = 0; i < frontier; ++i) {
+        const std::uint32_t l = gather[i];
         // Uniform choice among the feasible exploits (baseline included),
         // optionally staying silent.
         if (has_silent_ && (rng() >> 11) < silent_threshold_) continue;
         const std::uint32_t picks = ch.pick_begin_[l];
-        threshold = ch.pick_pool_[picks + rng.index(ch.pick_begin_[l + 1] - picks)];
+        const std::uint64_t threshold =
+            ch.pick_pool_[picks + rng.index(ch.pick_begin_[l + 1] - picks)];
+        fresh[fresh_count] = ch.link_to_[l];
+        fresh_count += (rng() >> 11) < threshold ? 1 : 0;
       }
-      fresh[fresh_count] = ch.link_to_[l];
-      fresh_count += (rng() >> 11) < threshold ? 1 : 0;
     }
   }
   if (prune) state.active.resize(kept);
   bool hit_target = false;
   for (std::size_t f = 0; f < fresh_count; ++f) {
     const core::HostId host = fresh[f];
-    if (state.marked[host] != epoch) {
-      state.marked[host] = epoch;
+    if (!support::simd::bit_test(marks, host)) {
+      support::simd::bit_set(marks, host);
       state.active.push_back(host);
       ++state.ever_infected;
       hit_target = hit_target || host == target;
@@ -242,7 +250,7 @@ bool CompiledPropagation::tick(SimState& state, core::HostId target, support::Rn
 
 void CompiledPropagation::start_run(SimState& state, core::HostId entry) const {
   state.begin_run(host_count(), entry);
-  state.marked[entry] = state.epoch;
+  support::simd::bit_set(state.marked.data(), entry);
   state.active.push_back(entry);
   state.ever_infected = 1;
 }

@@ -31,19 +31,23 @@
 //     `max(p_avg, channels...)` is precomputed per directed link.
 //
 // The tick scan is two phases per attacker: a branchless gather of the
-// susceptible link indices (conditional-increment compaction — the
-// susceptibility test is data-random and would otherwise mispredict on
-// every other neighbour), then the serial RNG draws over the gathered
-// frontier in CSR order.  Marks only change after all attackers scanned
-// (synchronous update), so gather-then-draw sees exactly the state the
-// seed-era fused loop saw and consumes the RNG identically.
+// susceptible link indices over the host-mark bitset (SIMD
+// gather-and-compact via sim/kernels.hpp — the susceptibility test is
+// data-random and would otherwise mispredict on every other neighbour),
+// then the RNG draws over the gathered frontier in CSR order: the words
+// are drawn serially (the stream cannot be vectorised without changing
+// results) and the threshold compare + success compaction go wide.
+// Marks only change after all attackers scanned (synchronous update), so
+// gather-then-draw sees exactly the state the seed-era fused loop saw
+// and consumes the RNG identically.
 //
-// Per-run state lives in a reusable SimState: one epoch-stamped u32 mark
-// per host (a run boundary is a counter bump, not an O(N) clear or
-// reallocation).  A single mark covers both "infected" and "remediated" —
-// every reader only ever asks "still susceptible?", which both states
-// answer the same way.  `mttc()` is an allocation-free chunked parallel
-// loop over the historical per-run splitmix64 streams.
+// Per-run state lives in a reusable SimState: one mark *bit* per host
+// (a run boundary is a word-parallel clear of host_count/32 words —
+// 12.5 KB at 100k hosts, L1-resident during the scan).  A single mark
+// covers both "infected" and "remediated" — every reader only ever asks
+// "still susceptible?", which both states answer the same way.  `mttc()`
+// is an allocation-free chunked parallel loop over the historical
+// per-run splitmix64 streams.
 //
 // Two exits spare the seed-era busy-spin to `max_ticks`:
 //
@@ -137,22 +141,27 @@ struct MttcResult {
 };
 
 /// Reusable per-thread scratch for simulation runs.  First use sizes the
-/// buffers; every following run is a counter bump plus list clears.
+/// buffers; every following run is a word-parallel bitset clear plus list
+/// clears.
 struct SimState {
-  /// mark == epoch ⇔ the host was infected this run (and possibly
-  /// remediated since) — i.e. no longer susceptible.
+  /// Host-mark bitset (support::simd bit helpers): bit set ⇔ the host was
+  /// infected this run (and possibly remediated since) — i.e. no longer
+  /// susceptible.  One bit per host instead of the earlier epoch-stamped
+  /// u32: a 100k-host network's marks fit in 12.5 KB (L1-resident for the
+  /// tick scan, and gatherable eight hosts per vector lane-load).
   std::vector<std::uint32_t> marked;
   std::vector<core::HostId> active;
   /// Scratch for this tick's new infections (sized to the link count; the
   /// logical length lives inside the tick).
   std::vector<core::HostId> fresh;
   std::vector<std::uint32_t> gather;  ///< scratch: one attacker's frontier links
-  std::uint32_t epoch = 0;
+  std::vector<std::uint64_t> words;   ///< scratch: buffered acceptance draws
   std::size_t ever_infected = 0;
   core::HostId entry = 0;
 
-  /// Starts a run: bumps the epoch (wiping the marks only on u32 wrap or
-  /// resize) and resets the lists.
+  /// Starts a run: clears the mark bitset (word-parallel — at one bit per
+  /// host this is cheaper than the old epoch bookkeeping ever was) and
+  /// resets the lists.
   void begin_run(std::size_t host_count, core::HostId entry_host);
 };
 

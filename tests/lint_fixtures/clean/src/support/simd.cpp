@@ -1,0 +1,12 @@
+// Clean fixture: the kernel layer itself may use raw intrinsics — that
+// is the whole point of confining them here.
+#include <immintrin.h>
+
+namespace icsdiv::support::simd {
+
+double add_lanes(const double* values) {
+  __m256d acc = _mm256_loadu_pd(values);
+  return acc[0] + acc[1] + acc[2] + acc[3];
+}
+
+}  // namespace icsdiv::support::simd

@@ -1,0 +1,14 @@
+// Violation fixture: raw vector intrinsics in domain code instead of the
+// support::simd::Kernels table.
+#include <immintrin.h>
+
+namespace icsdiv::mrf {
+
+double fast_sum(const double* values) {
+  __m256d acc = _mm256_loadu_pd(values);
+  float64x2_t pair = vdupq_n_f64(0.0);
+  (void)pair;
+  return acc[0];
+}
+
+}  // namespace icsdiv::mrf

@@ -79,6 +79,17 @@ class ViolationFixtureTest(unittest.TestCase):
         self.assertIn("stage.ghost", by_path["DESIGN.md"])
         self.assertEqual(len(found), 2)
 
+    def test_raw_intrinsics_flags_header_types_and_calls(self):
+        found = self._of_rule("raw-intrinsics")
+        self.assertEqual({f.path for f in found}, {"src/mrf/fast_path.cpp"})
+        messages = " ".join(f.message for f in found)
+        self.assertIn("header", messages)
+        self.assertIn("x86 SIMD intrinsic call", messages)
+        self.assertIn("x86 vector register type", messages)
+        self.assertIn("NEON intrinsic call", messages)
+        self.assertIn("NEON vector type", messages)
+        self.assertEqual(len(found), 5)
+
     def test_malformed_suppression_is_reported(self):
         found = self._of_rule("suppression-syntax")
         self.assertEqual({f.path for f in found}, {"src/core/report.cpp"})
@@ -94,6 +105,7 @@ class ViolationFixtureTest(unittest.TestCase):
                 "solver-cancel",
                 "status-pinned",
                 "failpoint-registry",
+                "raw-intrinsics",
                 "suppression-syntax",
             },
         )

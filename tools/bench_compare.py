@@ -26,19 +26,30 @@ TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_benchmarks(path):
-    """Returns {name: real_time_ns} for the aggregate-free entries."""
+    """Returns {name: real_time_ns}, one entry per benchmark.
+
+    Repeated runs (--benchmark_repetitions) report the per-repetition
+    median: a single CPU-steal spike on a shared runner poisons one
+    repetition, not the reported number.  Runs without repetitions fall
+    back to the plain iteration rows.
+    """
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
-    result = {}
+    plain = {}
+    medians = {}
     for entry in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) from repeated runs.
-        if entry.get("run_type") == "aggregate":
-            continue
         unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
         if unit is None:
             continue
-        result[entry["name"]] = float(entry["real_time"]) * unit
-    return result
+        time_ns = float(entry["real_time"]) * unit
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[entry.get("run_name", entry["name"])] = time_ns
+            continue
+        plain[entry["name"]] = time_ns
+    for name, time_ns in medians.items():
+        plain[name] = time_ns
+    return plain
 
 
 def format_ns(value_ns):

@@ -26,6 +26,13 @@ project rather than of C++:
   failpoint-registry    Every failpoint::evaluate("site") in the tree
                         must appear in the DESIGN.md registry block, and
                         every documented site must exist in code.
+  raw-intrinsics        Vector intrinsics (AVX2 `_mm256_*`, NEON
+                        `v*q_f64`, their headers and register types) are
+                        confined to src/support/simd.{hpp,cpp}.  Domain
+                        code expresses hot loops through the
+                        support::simd::Kernels table so every kernel has
+                        a scalar twin and the bit-identity property tests
+                        cover it (DESIGN.md section 14).
 
 Suppression: append `// lint:allow <rule-id> -- <reason>` to the
 offending line or the line directly above it.  The reason is mandatory;
@@ -74,6 +81,14 @@ class Config:
         "src/runner/shard.hpp",
         "src/runner/shard.cpp",
         "src/api/session.cpp",
+        # The kernel layer underpins the vector-vs-scalar byte-parity
+        # contract (DESIGN.md §14): any order-sensitive bookkeeping here
+        # must be deterministic.
+        "src/support/simd.hpp",
+        "src/support/simd.cpp",
+        "src/mrf/kernels.hpp",
+        "src/sim/kernels.hpp",
+        "src/bayes/kernels.hpp",
     )
     # Files allowed to touch ambient randomness / wall clocks.
     randomness_approved: Tuple[str, ...] = (
@@ -90,6 +105,12 @@ class Config:
         "src/sim/compiled.cpp",
         "src/bayes/compiled.cpp",
         "src/runner/scenario_engine.cpp",
+    )
+    # The only files allowed to contain raw vector intrinsics; everything
+    # else goes through the support::simd::Kernels table.
+    intrinsics_approved: Tuple[str, ...] = (
+        "src/support/simd.hpp",
+        "src/support/simd.cpp",
     )
     status_header: str = "src/api/status.hpp"
     design_doc: str = "DESIGN.md"
@@ -118,6 +139,7 @@ RULE_IDS = (
     "solver-cancel",
     "status-pinned",
     "failpoint-registry",
+    "raw-intrinsics",
 )
 
 SOURCE_SUFFIXES = (".hpp", ".cpp", ".h", ".cc")
@@ -352,6 +374,62 @@ def check_solver_cancel(
 
 
 # --------------------------------------------------------------------------
+# Rule: raw-intrinsics
+
+_INTRINSIC_PATTERNS: Tuple[Tuple[re.Pattern, str], ...] = (
+    (
+        re.compile(r"#\s*include\s*[<\"](?:immintrin|x86intrin|emmintrin|xmmintrin|"
+                   r"smmintrin|avxintrin|arm_neon|arm_sve)\.h[>\"]"),
+        "vector-intrinsic header included outside the kernel layer",
+    ),
+    (
+        re.compile(r"\b_mm(?:\d{3})?_[a-z0-9_]+\s*\("),
+        "x86 SIMD intrinsic call outside src/support/simd.{hpp,cpp}",
+    ),
+    (
+        re.compile(r"\b__m(?:64|128|256|512)[di]?\b"),
+        "x86 vector register type outside src/support/simd.{hpp,cpp}",
+    ),
+    (
+        # NEON intrinsics end in a lane-type suffix (vminq_f64, vld1q_u32,
+        # vdupq_n_f64, ...); NEON vector types are <base>x<lanes>_t.
+        re.compile(r"\bv[a-z0-9_]+_[fsup](?:8|16|32|64)\s*\("),
+        "NEON intrinsic call outside src/support/simd.{hpp,cpp}",
+    ),
+    (
+        re.compile(r"\b(?:float|int|uint|poly)(?:8|16|32|64)x(?:1|2|4|8|16)(?:x\d)?_t\b"),
+        "NEON vector type outside src/support/simd.{hpp,cpp}",
+    ),
+)
+
+
+def check_raw_intrinsics(root: pathlib.Path, config: Config, findings: List[Finding]) -> None:
+    approved = set(config.intrinsics_approved)
+    for path in _source_files(root / "src"):
+        relative = path.relative_to(root).as_posix()
+        if relative in approved:
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        sup = collect_suppressions(lines)
+        _report_suppression_errors(relative, sup, findings)
+        for number, line in enumerate(lines, start=1):
+            for pattern, why in _INTRINSIC_PATTERNS:
+                if not pattern.search(line):
+                    continue
+                if sup.allows("raw-intrinsics", number):
+                    continue
+                findings.append(
+                    Finding(
+                        relative,
+                        number,
+                        "raw-intrinsics",
+                        why + "; route the loop through support::simd::Kernels so the "
+                        "scalar twin and bit-identity tests cover it",
+                    )
+                )
+
+
+# --------------------------------------------------------------------------
 # Rule: status-pinned
 
 _ENUM_RE = re.compile(r"enum\s+class\s+StatusCode[^{]*\{(?P<body>.*?)\}", re.DOTALL)
@@ -512,6 +590,7 @@ def run(root: pathlib.Path, config: Config = DEFAULT_CONFIG,
     findings: List[Finding] = []
     check_unordered_iteration(root, config, findings)
     check_ambient_randomness(root, config, findings)
+    check_raw_intrinsics(root, config, findings)
     check_solver_cancel(root, config, findings, require_all)
     check_status_pinned(root, config, findings, require_all)
     check_failpoint_registry(root, config, findings, require_all)
